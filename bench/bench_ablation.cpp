@@ -1,0 +1,89 @@
+// Ablation bench (DESIGN.md §6 design choices): the C/F-pruned VGG11/CIFAR10
+// model mapped under the default non-ideality stack plus one knob changed at
+// a time — write quantization, stuck-at faults, IR-drop column compensation
+// ([12]-style baseline), the paper's two mitigations, and an unstructured-
+// magnitude pruning baseline (same sparsity, no crossbar savings).
+//
+// This quantifies how much of the degradation each non-ideality contributes
+// and how the mitigations compare on equal footing.
+#include "core/experiments.h"
+#include "map/compression.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    core::ExperimentContext ctx(flags);
+    const double s = ctx.sparsity_for(10);
+    const std::int64_t size = flags.get_int("xbar", 64);
+
+    auto& unpruned = ctx.prepared(ctx.spec("vgg11", 10, prune::Method::kNone, 0.0));
+    auto& pruned =
+        ctx.prepared(ctx.spec("vgg11", 10, prune::Method::kChannelFilter, s));
+    auto& wct = ctx.prepared(
+        ctx.spec("vgg11", 10, prune::Method::kChannelFilter, s, true));
+
+    util::CsvWriter csv(ctx.csv_path("ablation.csv"),
+                        {"variant", "xbar_size", "accuracy", "nf_mean"});
+    util::TextTable table({"variant", "accuracy", "NF"});
+    const auto& test = ctx.dataset(10).test;
+
+    struct Case {
+        std::string label;
+        core::PreparedModel* model;
+        prune::Method method;
+        std::function<void(core::EvalConfig&)> tweak;
+    };
+    const std::vector<Case> cases = {
+        {"unpruned baseline", &unpruned, prune::Method::kNone, {}},
+        {"C/F baseline", &pruned, prune::Method::kChannelFilter, {}},
+        {"C/F, no variation", &pruned, prune::Method::kChannelFilter,
+         [](core::EvalConfig& c) { c.include_variation = false; }},
+        {"C/F, no parasitics", &pruned, prune::Method::kChannelFilter,
+         [](core::EvalConfig& c) { c.include_parasitics = false; }},
+        {"C/F + 6-bit write quant", &pruned, prune::Method::kChannelFilter,
+         [](core::EvalConfig& c) { c.conductance_levels = 64; }},
+        {"C/F + 4-bit write quant", &pruned, prune::Method::kChannelFilter,
+         [](core::EvalConfig& c) { c.conductance_levels = 16; }},
+        {"C/F + 1% stuck faults", &pruned, prune::Method::kChannelFilter,
+         [](core::EvalConfig& c) {
+             c.faults.p_stuck_min = 0.005;
+             c.faults.p_stuck_max = 0.005;
+         }},
+        {"C/F + 5% stuck faults", &pruned, prune::Method::kChannelFilter,
+         [](core::EvalConfig& c) {
+             c.faults.p_stuck_min = 0.025;
+             c.faults.p_stuck_max = 0.025;
+         }},
+        {"C/F + column compensation", &pruned, prune::Method::kChannelFilter,
+         [](core::EvalConfig& c) { c.compensate_columns = true; }},
+        {"C/F + R", &pruned, prune::Method::kChannelFilter,
+         [](core::EvalConfig& c) { c.rearrange = true; }},
+        {"C/F + R + compensation", &pruned, prune::Method::kChannelFilter,
+         [](core::EvalConfig& c) {
+             c.rearrange = true;
+             c.compensate_columns = true;
+         }},
+        {"WCT + C/F", &wct, prune::Method::kChannelFilter, {}},
+    };
+
+    std::printf("Ablation: C/F-pruned VGG11/CIFAR10 (s=%.2f) on %lldx%lld crossbars\n",
+                s, static_cast<long long>(size), static_cast<long long>(size));
+    std::printf("software accuracy: unpruned %.2f%%, C/F %.2f%%, WCT %.2f%%\n\n",
+                unpruned.software_accuracy, pruned.software_accuracy,
+                wct.software_accuracy);
+
+    for (const Case& c : cases) {
+        core::EvalConfig eval = ctx.eval_config(*c.model, c.method, size);
+        if (c.tweak) c.tweak(eval);
+        const auto r = core::evaluate_on_crossbars(c.model->model, test, eval);
+        csv.row(c.label, size, r.accuracy, r.nf_mean);
+        table.add_row({c.label, util::fmt(r.accuracy) + "%", util::fmt(r.nf_mean, 4)});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("(rows written to results/ablation.csv)\n");
+    return 0;
+}

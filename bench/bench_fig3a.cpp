@@ -1,0 +1,57 @@
+// Fig. 3(a): inference accuracy vs crossbar size for the unpruned and
+// structure-pruned (C/F, XCS, XRS; s = 0.8) VGG11 on the CIFAR10-like set.
+//
+// Paper shape: all curves fall as the crossbar grows; the pruned curves fall
+// faster than the unpruned one (≈ −21 % unpruned vs −24…−39 % pruned at
+// 64×64 relative to software).
+#include "core/experiments.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    core::ExperimentContext ctx(flags);
+    const std::string variant = flags.get_string("variant", "vgg11");
+    const double s = ctx.sparsity_for(10);
+
+    struct Scheme {
+        const char* label;
+        prune::Method method;
+        double sparsity;
+    };
+    const Scheme schemes[] = {
+        {"unpruned", prune::Method::kNone, 0.0},
+        {"C/F", prune::Method::kChannelFilter, s},
+        {"XCS", prune::Method::kXbarColumn, s},
+        {"XRS", prune::Method::kXbarRow, s},
+    };
+
+    util::CsvWriter csv(ctx.csv_path("fig3a_" + variant + "_cifar10.csv"),
+                        {"scheme", "xbar_size", "software_acc", "crossbar_acc",
+                         "nf_mean", "tiles"});
+    util::TextTable table({"scheme", "software", "16x16", "32x32", "64x64"});
+
+    std::printf("Fig 3(a): %s / CIFAR10-like, s=%.2f — accuracy vs crossbar size\n\n",
+                variant.c_str(), s);
+    for (const auto& scheme : schemes) {
+        auto& model = ctx.prepared(
+            ctx.spec(variant, 10, scheme.method, scheme.sparsity));
+        std::vector<std::string> row{scheme.label,
+                                     util::fmt(model.software_accuracy) + "%"};
+        for (const auto size : ctx.sizes()) {
+            const auto eval = ctx.eval_config(model, scheme.method, size);
+            const auto r = core::evaluate_on_crossbars(model.model,
+                                                       ctx.dataset(10).test, eval);
+            csv.row(scheme.label, size, model.software_accuracy, r.accuracy,
+                    r.nf_mean, r.total_tiles);
+            row.push_back(util::fmt(r.accuracy) + "%");
+        }
+        table.add_row(row);
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("(series written to results/fig3a_%s_cifar10.csv)\n", variant.c_str());
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 3(b): accuracy vs crossbar size for C/F-pruned VGG11/CIFAR10 at
+// different sparsity ratios. Paper shape: lower sparsity → smaller
+// non-ideal accuracy degradation.
+#include "core/experiments.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+#include <cstdio>
+#include <vector>
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    core::ExperimentContext ctx(flags);
+
+    std::vector<double> sparsities;
+    for (const auto pct : flags.get_int_list("sparsities-pct", {50, 65, 80}))
+        sparsities.push_back(static_cast<double>(pct) / 100.0);
+
+    util::CsvWriter csv(ctx.csv_path("fig3b_vgg11_cifar10_sparsity.csv"),
+                        {"sparsity", "xbar_size", "software_acc", "crossbar_acc",
+                         "nf_mean"});
+    util::TextTable table({"sparsity", "software", "16x16", "32x32", "64x64"});
+
+    std::printf("Fig 3(b): C/F-pruned VGG11 / CIFAR10-like — sparsity sweep\n\n");
+    for (const double s : sparsities) {
+        auto& model = ctx.prepared(
+            ctx.spec("vgg11", 10, prune::Method::kChannelFilter, s));
+        std::vector<std::string> row{util::fmt(s, 2),
+                                     util::fmt(model.software_accuracy) + "%"};
+        for (const auto size : ctx.sizes()) {
+            const auto eval =
+                ctx.eval_config(model, prune::Method::kChannelFilter, size);
+            const auto r = core::evaluate_on_crossbars(model.model,
+                                                       ctx.dataset(10).test, eval);
+            csv.row(s, size, model.software_accuracy, r.accuracy, r.nf_mean);
+            row.push_back(util::fmt(r.accuracy) + "%");
+        }
+        table.add_row(row);
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("(series written to results/fig3b_vgg11_cifar10_sparsity.csv)\n");
+    return 0;
+}

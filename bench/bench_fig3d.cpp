@@ -1,0 +1,55 @@
+// Fig. 3(d): average non-ideality factor (NF) of the unpruned vs C/F-pruned
+// VGG11/CIFAR10 weight matrices when the crossbar grows from 32×32 to 64×64.
+// Paper shape: NF grows with crossbar size for both; the growth *rate* is
+// higher for the unpruned network (it maps onto many more crossbars).
+#include "core/experiments.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    core::ExperimentContext ctx(flags);
+    const double s = ctx.sparsity_for(10);
+
+    util::CsvWriter csv(ctx.csv_path("fig3d_nf_vs_size.csv"),
+                        {"scheme", "xbar_size", "nf_mean", "tiles"});
+    util::TextTable table({"scheme", "NF @32x32", "NF @64x64", "delta", "tiles@32",
+                           "tiles@64"});
+
+    std::printf("Fig 3(d): average NF, unpruned vs C/F (s=%.2f) VGG11/CIFAR10\n\n", s);
+    struct Scheme {
+        const char* label;
+        prune::Method method;
+        double sparsity;
+    };
+    for (const auto& scheme :
+         {Scheme{"unpruned", prune::Method::kNone, 0.0},
+          Scheme{"C/F", prune::Method::kChannelFilter, s}}) {
+        auto& model =
+            ctx.prepared(ctx.spec("vgg11", 10, scheme.method, scheme.sparsity));
+        double nf32 = 0.0, nf64 = 0.0;
+        std::int64_t t32 = 0, t64 = 0;
+        for (const std::int64_t size : {32, 64}) {
+            core::EvalConfig eval = ctx.eval_config(model, scheme.method, size);
+            eval.include_variation = false;  // NF is a parasitics metric
+            const auto r = core::measure_nf(model.model, eval);
+            csv.row(scheme.label, size, r.nf_mean, r.total_tiles);
+            if (size == 32) {
+                nf32 = r.nf_mean;
+                t32 = r.total_tiles;
+            } else {
+                nf64 = r.nf_mean;
+                t64 = r.total_tiles;
+            }
+        }
+        table.add_row({scheme.label, util::fmt(nf32, 4), util::fmt(nf64, 4),
+                       util::fmt(nf64 - nf32, 4), std::to_string(t32),
+                       std::to_string(t64)});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("(series written to results/fig3d_nf_vs_size.csv)\n");
+    return 0;
+}

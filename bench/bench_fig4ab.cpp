@@ -1,0 +1,68 @@
+// Fig. 4(a,b): accuracy vs crossbar size for unpruned, C/F-pruned, and
+// C/F-pruned + column rearrangement R — VGG11 (a) and VGG16 (b) on the
+// CIFAR10-like set (s = 0.8). Paper shape: R recovers several percent of the
+// C/F accuracy loss, most visibly on larger crossbars (~9 % for VGG11 at
+// 64×64, ~6 % for VGG16 at 32×32).
+#include "core/experiments.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+#include <cstdio>
+#include <sstream>
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    core::ExperimentContext ctx(flags);
+    const double s = ctx.sparsity_for(10);
+
+    util::CsvWriter csv(ctx.csv_path("fig4ab_rearrangement_cifar10.csv"),
+                        {"variant", "scheme", "xbar_size", "software_acc",
+                         "crossbar_acc", "nf_mean"});
+
+    std::vector<std::string> variants;
+    {
+        std::stringstream ss(flags.get_string("variants", "vgg11,vgg16"));
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty()) variants.push_back(item);
+    }
+    for (const std::string& variant : variants) {
+        std::printf("Fig 4(%s): %s / CIFAR10-like, s=%.2f\n\n",
+                    variant == "vgg11" ? "a" : "b", variant.c_str(), s);
+        util::TextTable table({"scheme", "software", "16x16", "32x32", "64x64"});
+
+        auto& unpruned = ctx.prepared(ctx.spec(variant, 10, prune::Method::kNone, 0.0));
+        auto& pruned =
+            ctx.prepared(ctx.spec(variant, 10, prune::Method::kChannelFilter, s));
+
+        struct Row {
+            const char* label;
+            core::PreparedModel* model;
+            prune::Method method;
+            bool rearrange;
+        };
+        const Row rows[] = {
+            {"unpruned", &unpruned, prune::Method::kNone, false},
+            {"C/F", &pruned, prune::Method::kChannelFilter, false},
+            {"C/F + R", &pruned, prune::Method::kChannelFilter, true},
+        };
+        for (const Row& row : rows) {
+            std::vector<std::string> cells{
+                row.label, util::fmt(row.model->software_accuracy) + "%"};
+            for (const auto size : ctx.sizes()) {
+                const auto eval =
+                    ctx.eval_config(*row.model, row.method, size, row.rearrange);
+                const auto r = core::evaluate_on_crossbars(
+                    row.model->model, ctx.dataset(10).test, eval);
+                csv.row(variant, row.label, size, row.model->software_accuracy,
+                        r.accuracy, r.nf_mean);
+                cells.push_back(util::fmt(r.accuracy) + "%");
+            }
+            table.add_row(cells);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+    std::printf("(series written to results/fig4ab_rearrangement_cifar10.csv)\n");
+    return 0;
+}

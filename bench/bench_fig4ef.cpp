@@ -1,0 +1,63 @@
+// Fig. 4(e,f): accuracy vs crossbar size for unpruned, C/F-pruned, and
+// WCT + C/F-pruned VGG11 — CIFAR10-like (e, s = 0.8) and CIFAR100-like
+// (f, s = 0.6). Paper shape: the WCT model holds its accuracy nearly flat
+// across crossbar sizes and beats the unpruned model on large crossbars
+// (~6–7 % at 64×64 / 32×32).
+#include "core/experiments.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    core::ExperimentContext ctx(flags);
+
+    util::CsvWriter csv(ctx.csv_path("fig4ef_wct.csv"),
+                        {"dataset", "scheme", "xbar_size", "software_acc",
+                         "crossbar_acc", "nf_mean"});
+
+    for (const std::int64_t classes : {10, 100}) {
+        const double s = ctx.sparsity_for(classes);
+        std::printf("Fig 4(%s): VGG11 / CIFAR%lld-like, s=%.2f — WCT mitigation\n\n",
+                    classes == 10 ? "e" : "f", static_cast<long long>(classes), s);
+        util::TextTable table({"scheme", "software", "16x16", "32x32", "64x64"});
+
+        auto& unpruned =
+            ctx.prepared(ctx.spec("vgg11", classes, prune::Method::kNone, 0.0));
+        auto& pruned = ctx.prepared(
+            ctx.spec("vgg11", classes, prune::Method::kChannelFilter, s));
+        auto& wct = ctx.prepared(
+            ctx.spec("vgg11", classes, prune::Method::kChannelFilter, s, true));
+
+        struct Row {
+            const char* label;
+            core::PreparedModel* model;
+        };
+        const Row rows[] = {
+            {"unpruned", &unpruned},
+            {"C/F", &pruned},
+            {"WCT + C/F", &wct},
+        };
+        for (const Row& row : rows) {
+            const prune::Method method = row.model == &unpruned
+                                             ? prune::Method::kNone
+                                             : prune::Method::kChannelFilter;
+            std::vector<std::string> cells{
+                row.label, util::fmt(row.model->software_accuracy) + "%"};
+            for (const auto size : ctx.sizes()) {
+                const auto eval = ctx.eval_config(*row.model, method, size);
+                const auto r = core::evaluate_on_crossbars(
+                    row.model->model, ctx.dataset(classes).test, eval);
+                csv.row(classes, row.label, size, row.model->software_accuracy,
+                        r.accuracy, r.nf_mean);
+                cells.push_back(util::fmt(r.accuracy) + "%");
+            }
+            table.add_row(cells);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+    std::printf("(series written to results/fig4ef_wct.csv)\n");
+    return 0;
+}

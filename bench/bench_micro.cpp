@@ -1,0 +1,138 @@
+// Kernel micro-benchmarks (google-benchmark): GEMM, im2col, the crossbar
+// circuit solver, tile degradation, and dataset synthesis — the kernels
+// whose cost determines end-to-end experiment time.
+#include "core/evaluator.h"
+#include "data/synthetic.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "xbar/degrade.h"
+#include "xbar/mapper.h"
+#include "xbar/solver.h"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace xs;
+
+void BM_Gemm(benchmark::State& state) {
+    const auto n = state.range(0);
+    util::Rng rng(1);
+    tensor::Tensor a({n, n}), b({n, n}), c({n, n});
+    tensor::fill_normal(a, rng, 0.0f, 1.0f);
+    tensor::fill_normal(b, rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        tensor::gemm(n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f, c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2col(benchmark::State& state) {
+    const std::int64_t c = state.range(0), s = 32, k = 3;
+    util::Rng rng(2);
+    tensor::Tensor x({c, s, s});
+    tensor::fill_normal(x, rng, 0.0f, 1.0f);
+    tensor::Tensor col({c * k * k, s * s});
+    for (auto _ : state) {
+        tensor::im2col(x.data(), c, s, s, k, k, 1, 1, col.data());
+        benchmark::DoNotOptimize(col.data());
+    }
+}
+BENCHMARK(BM_Im2col)->Arg(16)->Arg(64);
+
+void BM_CircuitSolve(benchmark::State& state) {
+    const auto size = state.range(0);
+    xbar::CrossbarConfig config;
+    config.size = size;
+    util::Rng rng(3);
+    tensor::Tensor g({size, size});
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(
+            rng.uniform(config.device.g_min(), config.device.g_max()));
+    const std::vector<double> v(static_cast<std::size_t>(size), 0.25);
+    const xbar::CircuitSolver solver(config);
+    for (auto _ : state) {
+        const auto sol = solver.solve(g, v);
+        benchmark::DoNotOptimize(sol.currents.data());
+    }
+}
+BENCHMARK(BM_CircuitSolve)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_DenseMnaSolve(benchmark::State& state) {
+    const auto size = state.range(0);
+    xbar::CrossbarConfig config;
+    config.size = size;
+    util::Rng rng(4);
+    tensor::Tensor g({size, size});
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(
+            rng.uniform(config.device.g_min(), config.device.g_max()));
+    const std::vector<double> v(static_cast<std::size_t>(size), 0.25);
+    const xbar::CircuitSolver solver(config);
+    for (auto _ : state) {
+        const auto sol = solver.solve_dense(g, v);
+        benchmark::DoNotOptimize(sol.currents.data());
+    }
+}
+BENCHMARK(BM_DenseMnaSolve)->Arg(8)->Arg(16);
+
+void BM_DegradeTile(benchmark::State& state) {
+    const auto size = state.range(0);
+    xbar::CrossbarConfig config;
+    config.size = size;
+    util::Rng rng(5);
+    tensor::Tensor g({size, size});
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(
+            rng.uniform(config.device.g_min(), config.device.g_max()));
+    for (auto _ : state) {
+        const auto r = xbar::degrade_tile(g, config);
+        benchmark::DoNotOptimize(r.g_eff.data());
+    }
+}
+BENCHMARK(BM_DegradeTile)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_DegradeMacMatrix(benchmark::State& state) {
+    const auto size = state.range(0);
+    util::Rng rng(6);
+    tensor::Tensor m({256, 128});
+    tensor::fill_normal(m, rng, 0.0f, 0.1f);
+    core::EvalConfig config;
+    config.xbar.size = size;
+    for (auto _ : state) {
+        core::DegradeStats stats;
+        util::Rng vr(7);
+        const auto out = core::degrade_mac_matrix(m, config, 0.4, vr, stats);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_DegradeMacMatrix)->Arg(32)->Arg(64);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+    data::SyntheticSpec spec = data::cifar10_like(9);
+    for (auto _ : state) {
+        const auto d = data::generate(spec, state.range(0));
+        benchmark::DoNotOptimize(d.images.data());
+    }
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(64);
+
+void BM_ConductanceMapping(benchmark::State& state) {
+    xbar::DeviceConfig device;
+    util::Rng rng(10);
+    tensor::Tensor w({64, 64});
+    tensor::fill_normal(w, rng, 0.0f, 0.1f);
+    const xbar::ConductanceMapper mapper(device, 0.4);
+    tensor::Tensor gp, gn;
+    for (auto _ : state) {
+        mapper.to_differential(w, gp, gn);
+        const auto back = mapper.from_differential(gp, gn);
+        benchmark::DoNotOptimize(back.data());
+    }
+}
+BENCHMARK(BM_ConductanceMapping);
+
+}  // namespace

@@ -1,0 +1,43 @@
+// NF explorer: sweep crossbar size and conductance level and print the
+// non-ideality factor of a uniform crossbar — a direct view of the physics
+// that drives everything else (paper §II-A: NF = (I_ideal − I_ni)/I_ideal).
+//
+//   ./nf_explorer [--sizes=16,32,64,128] [--levels=8]
+#include "util/csv.h"
+#include "util/flags.h"
+#include "xbar/degrade.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    const auto sizes = flags.get_int_list("sizes", {16, 32, 64, 128});
+    const std::int64_t levels = flags.get_int("levels", 8);
+
+    std::printf("NF of a uniform crossbar (all devices at conductance G)\n");
+    util::TextTable table({"G (uS)", "16x16", "32x32", "64x64", "128x128"});
+
+    xbar::DeviceConfig device;
+    device.sigma_variation = 0.0;  // deterministic physics only
+
+    for (std::int64_t level = 0; level < levels; ++level) {
+        const double g = device.g_min() +
+                         (device.g_max() - device.g_min()) *
+                             static_cast<double>(level) /
+                             static_cast<double>(levels - 1);
+        std::vector<std::string> row{util::fmt(g * 1e6, 1)};
+        for (const auto size : sizes) {
+            xbar::CrossbarConfig config;
+            config.size = size;
+            config.device = device;
+            tensor::Tensor gmat({size, size}, static_cast<float>(g));
+            row.push_back(util::fmt(xbar::non_ideality_factor(gmat, config), 4));
+        }
+        table.add_row(row);
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("Low-conductance synapses suffer far less IR-drop — the fact\n"
+                "both mitigations (R and WCT) exploit.\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Parasitic sweep: train (or load) the unpruned VGG11 once, then sweep
+// crossbar size × interconnect-resistance scale and report the accuracy and
+// NF surface. Useful for calibrating the simulator against published
+// degradation levels.
+//
+//   ./parasitic_sweep [--scales=0.5,0.75,1.0] [--sizes=16,32,64]
+#include "core/experiments.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    core::ExperimentContext ctx(flags);
+
+    std::vector<double> scales;
+    for (const auto s : flags.get_int_list("scales-pct", {50, 75, 100}))
+        scales.push_back(static_cast<double>(s) / 100.0);
+
+    const auto spec = ctx.spec("vgg11", 10, prune::Method::kNone, 0.0);
+    core::PreparedModel& model = ctx.prepared(spec);
+    const auto& tt = ctx.dataset(10);
+    std::printf("software accuracy: %.2f%%\n\n", model.software_accuracy);
+
+    util::TextTable table({"scale", "xbar", "accuracy", "drop", "NF"});
+    for (const double scale : scales) {
+        for (const auto size : ctx.sizes()) {
+            core::EvalConfig eval = ctx.eval_config(model, prune::Method::kNone, size);
+            eval.xbar.parasitics.r_driver *= scale;
+            eval.xbar.parasitics.r_wire_row *= scale;
+            eval.xbar.parasitics.r_wire_col *= scale;
+            eval.xbar.parasitics.r_sense *= scale;
+            const auto r = core::evaluate_on_crossbars(model.model, tt.test, eval);
+            table.add_row({util::fmt(scale, 2), std::to_string(size),
+                           util::fmt(r.accuracy) + "%",
+                           util::fmt(model.software_accuracy - r.accuracy),
+                           util::fmt(r.nf_mean, 4)});
+        }
+    }
+    std::printf("%s\n", table.str().c_str());
+    return 0;
+}

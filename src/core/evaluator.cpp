@@ -1,0 +1,253 @@
+#include "core/evaluator.h"
+
+#include "map/compaction.h"
+#include "map/matrix_view.h"
+#include "map/tiling.h"
+#include "tensor/ops.h"
+#include "util/parallel.h"
+#include "xbar/degrade.h"
+#include "xbar/mapper.h"
+#include "xbar/quantize.h"
+
+#include <algorithm>
+
+namespace xs::core {
+
+using tensor::Tensor;
+
+namespace {
+
+map::Tiling make_tiling(const Tensor& work, prune::Method method,
+                        std::int64_t xbar_size) {
+    switch (method) {
+        case prune::Method::kXbarColumn:
+            return map::tile_xcs(work, xbar_size);
+        case prune::Method::kXbarRow:
+            return map::tile_xrs(work, xbar_size);
+        case prune::Method::kNone:
+        case prune::Method::kChannelFilter:
+        default:
+            return map::tile_dense(work.dim(0), work.dim(1), xbar_size);
+    }
+}
+
+}  // namespace
+
+Tensor degrade_mac_matrix(const Tensor& matrix, const EvalConfig& config,
+                          double w_ref, util::Rng& rng, DegradeStats& stats) {
+    tensor::check(matrix.rank() == 2, "degrade_mac_matrix: expects rank-2 matrix");
+    tensor::check(w_ref > 0.0, "degrade_mac_matrix: w_ref must be positive");
+
+    // T: C/F-pruned matrices are compacted (zero rows/columns eliminated).
+    const bool use_compaction = config.method == prune::Method::kChannelFilter;
+    map::Compaction compaction;
+    Tensor work;
+    if (use_compaction) {
+        compaction = map::compact_dense(matrix);
+        work = compaction.matrix;
+    } else {
+        work = matrix;
+    }
+
+    // Mitigation R on the compacted matrix.
+    Rearrangement rearrangement;
+    if (config.rearrange) {
+        rearrangement = compute_rearrangement(work, config.order);
+        work = apply_columns(work, rearrangement);
+    }
+
+    const map::Tiling tiling = make_tiling(work, config.method, config.xbar.size);
+    const xbar::ConductanceMapper mapper(config.xbar.device, w_ref);
+
+    Tensor degraded = work;  // scatter target
+    // Pre-split one RNG per tile so the parallel loop stays deterministic.
+    std::vector<util::Rng> tile_rngs;
+    tile_rngs.reserve(tiling.tiles.size());
+    for (std::size_t t = 0; t < tiling.tiles.size(); ++t)
+        tile_rngs.push_back(rng.split(static_cast<std::uint64_t>(t) + 1));
+
+    std::vector<double> tile_nf(tiling.tiles.size(), 0.0);
+    std::vector<Tensor> tile_out(tiling.tiles.size());
+
+    // Digital column gain: scale G′ columns so the calibration-point current
+    // matches the pre-parasitic array (per differential array).
+    const auto compensate = [&config](Tensor& g_eff, const Tensor& g_before) {
+        const std::int64_t n = config.xbar.size;
+        for (std::int64_t j = 0; j < n; ++j) {
+            double before = 0.0, after = 0.0;
+            for (std::int64_t i = 0; i < n; ++i) {
+                before += g_before.at(i, j);
+                after += g_eff.at(i, j);
+            }
+            if (after <= 0.0) continue;
+            const float gain = static_cast<float>(before / after);
+            for (std::int64_t i = 0; i < n; ++i) g_eff.at(i, j) *= gain;
+        }
+    };
+
+    util::parallel_for(0, tiling.tiles.size(), [&](std::size_t t) {
+        const map::Tile& tile = tiling.tiles[t];
+        const Tensor sub = map::extract_tile(work, tile, config.xbar.size);
+
+        Tensor g_pos, g_neg;
+        mapper.to_differential(sub, g_pos, g_neg);
+        if (config.conductance_levels >= 2) {
+            xbar::quantize_conductance(g_pos, config.xbar.device,
+                                       config.conductance_levels);
+            xbar::quantize_conductance(g_neg, config.xbar.device,
+                                       config.conductance_levels);
+        }
+        if (config.include_variation) {
+            xbar::apply_variation(g_pos, config.xbar.device, tile_rngs[t]);
+            xbar::apply_variation(g_neg, config.xbar.device, tile_rngs[t]);
+        }
+        if (config.faults.any()) {
+            xbar::apply_stuck_faults(g_pos, config.xbar.device, config.faults,
+                                     tile_rngs[t]);
+            xbar::apply_stuck_faults(g_neg, config.xbar.device, config.faults,
+                                     tile_rngs[t]);
+        }
+        double nf = 0.0;
+        if (config.include_parasitics) {
+            const xbar::TileDegradeResult pos = xbar::degrade_tile(g_pos, config.xbar);
+            const xbar::TileDegradeResult neg = xbar::degrade_tile(g_neg, config.xbar);
+            if (config.compensate_columns) {
+                Tensor pos_eff = pos.g_eff, neg_eff = neg.g_eff;
+                compensate(pos_eff, g_pos);
+                compensate(neg_eff, g_neg);
+                g_pos = std::move(pos_eff);
+                g_neg = std::move(neg_eff);
+            } else {
+                g_pos = pos.g_eff;
+                g_neg = neg.g_eff;
+            }
+            nf = 0.5 * (pos.nf + neg.nf);
+        }
+        tile_out[t] = mapper.from_differential(g_pos, g_neg);
+        tile_nf[t] = nf;
+    });
+
+    for (std::size_t t = 0; t < tiling.tiles.size(); ++t) {
+        map::scatter_tile(degraded, tiling.tiles[t], tile_out[t]);
+        stats.nf_sum += tile_nf[t];
+        ++stats.nf_tiles;
+    }
+    stats.tiles += tiling.count();
+
+    // R⁻¹ then T⁻¹.
+    if (config.rearrange) degraded = invert_columns(degraded, rearrangement);
+    if (use_compaction) return map::uncompact(compaction, degraded);
+    return degraded;
+}
+
+std::map<std::string, Tensor> degrade_model_matrices(
+    nn::Sequential& model, const EvalConfig& config,
+    std::vector<LayerEvalStats>* layer_stats) {
+    std::map<std::string, Tensor> result;
+    util::Rng rng(config.seed);
+    std::uint64_t layer_tag = 1;
+
+    for (nn::Layer* layer : map::mappable_layers(model)) {
+        const Tensor matrix = map::extract_matrix(*layer);
+
+        double w_ref = 0.0;
+        const auto it = config.w_ref.find(layer->name());
+        if (it != config.w_ref.end()) {
+            w_ref = it->second;
+        } else {
+            w_ref = tensor::abs_percentile_nonzero(matrix, config.w_ref_percentile);
+        }
+        if (w_ref <= 0.0) w_ref = 1.0;  // degenerate all-zero layer
+
+        util::Rng layer_rng = rng.split(layer_tag++);
+        DegradeStats stats;
+        Tensor degraded = degrade_mac_matrix(matrix, config, w_ref, layer_rng, stats);
+
+        if (layer_stats) {
+            LayerEvalStats ls;
+            ls.layer = layer->name();
+            if (config.method == prune::Method::kChannelFilter) {
+                const map::Compaction c = map::compact_dense(matrix);
+                ls.rows = c.matrix.dim(0);
+                ls.cols = c.matrix.dim(1);
+            } else {
+                ls.rows = matrix.dim(0);
+                ls.cols = matrix.dim(1);
+            }
+            ls.tiles = stats.tiles;
+            ls.nf_mean = stats.nf_mean();
+            ls.w_ref = w_ref;
+            layer_stats->push_back(std::move(ls));
+        }
+        result.emplace(layer->name(), std::move(degraded));
+    }
+    return result;
+}
+
+namespace {
+
+EvalResult evaluate_single(nn::Sequential& model, const nn::Dataset& test,
+                           const EvalConfig& config) {
+    EvalResult result;
+    auto degraded = degrade_model_matrices(model, config, &result.layers);
+
+    // Swap in W′, keeping the originals for restoration.
+    std::map<std::string, Tensor> originals;
+    for (nn::Layer* layer : map::mappable_layers(model)) {
+        originals.emplace(layer->name(), map::extract_matrix(*layer));
+        map::inject_matrix(*layer, degraded.at(layer->name()));
+    }
+
+    result.accuracy = nn::evaluate(model, test);
+
+    for (nn::Layer* layer : map::mappable_layers(model))
+        map::inject_matrix(*layer, originals.at(layer->name()));
+
+    double nf_sum = 0.0;
+    std::int64_t nf_tiles = 0;
+    for (const auto& ls : result.layers) {
+        nf_sum += ls.nf_mean * static_cast<double>(ls.tiles);
+        nf_tiles += ls.tiles;
+        result.total_tiles += ls.tiles;
+    }
+    result.nf_mean = nf_tiles ? nf_sum / static_cast<double>(nf_tiles) : 0.0;
+    return result;
+}
+
+}  // namespace
+
+EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
+                                 const EvalConfig& config) {
+    const std::int64_t repeats = std::max<std::int64_t>(config.repeats, 1);
+    EvalResult aggregate;
+    for (std::int64_t r = 0; r < repeats; ++r) {
+        EvalConfig run = config;
+        run.seed = config.seed + static_cast<std::uint64_t>(r) * 7919;
+        EvalResult one = evaluate_single(model, test, run);
+        if (r == 0) {
+            aggregate = std::move(one);
+        } else {
+            aggregate.accuracy += one.accuracy;
+            aggregate.nf_mean += one.nf_mean;
+        }
+    }
+    aggregate.accuracy /= static_cast<double>(repeats);
+    aggregate.nf_mean /= static_cast<double>(repeats);
+    return aggregate;
+}
+
+EvalResult measure_nf(nn::Sequential& model, const EvalConfig& config) {
+    EvalResult result;
+    degrade_model_matrices(model, config, &result.layers);
+    double nf_sum = 0.0;
+    std::int64_t nf_tiles = 0;
+    for (const auto& ls : result.layers) {
+        nf_sum += ls.nf_mean * static_cast<double>(ls.tiles);
+        nf_tiles += ls.tiles;
+        result.total_tiles += ls.tiles;
+    }
+    result.nf_mean = nf_tiles ? nf_sum / static_cast<double>(nf_tiles) : 0.0;
+    return result;
+}
+
+}  // namespace xs::core

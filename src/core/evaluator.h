@@ -1,0 +1,100 @@
+// The hardware evaluation framework of the paper's Fig. 2: unroll every
+// conv/linear layer to a MAC matrix, apply the pruning-scheme transformation
+// T (and optionally the mitigation R), partition into crossbars, convert to
+// conductances, inject circuit + device non-idealities, convert back, apply
+// R⁻¹ and T⁻¹, and run inference with the resulting non-ideal weights W′.
+#pragma once
+
+#include "core/rearrange.h"
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+#include "prune/prune.h"
+#include "xbar/config.h"
+#include "xbar/faults.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xs::core {
+
+struct EvalConfig {
+    xbar::CrossbarConfig xbar;
+    // Which T-transformation / tiling the scheme uses. kNone = dense mapping.
+    prune::Method method = prune::Method::kNone;
+    // Mitigation R (crossbar-column rearrangement).
+    bool rearrange = false;
+    RearrangeOrder order = RearrangeOrder::kAscending;
+    // Per-layer weight→conductance reference scale. Layers absent from the
+    // map use the `w_ref_percentile` of their non-zero |w| (outlier-robust);
+    // WCT evaluation passes the frozen pre-clip scales here (DESIGN.md §2).
+    std::map<std::string, double> w_ref;
+    double w_ref_percentile = 0.995;
+    // Device-variation RNG seed (deterministic per layer/tile).
+    std::uint64_t seed = 7;
+    // Monte-Carlo repeats over the device-variation draw; accuracy and NF
+    // are averaged (chip-to-chip variability averaging).
+    std::int64_t repeats = 1;
+    bool include_parasitics = true;
+    bool include_variation = true;
+
+    // ---- optional extensions (all off by default) ----
+    // Finite write precision: number of programmable conductance levels
+    // (0 = continuous devices).
+    std::int64_t conductance_levels = 0;
+    // Stuck-at-fault rates.
+    xbar::FaultConfig faults;
+    // Digital per-column gain correction calibrated at v_nom — the classic
+    // IR-drop compensation baseline ([Liu et al., ICCAD'14], ref. [12] of
+    // the paper). Exactly restores each column's calibration-point current;
+    // residual error remains for other inputs.
+    bool compensate_columns = false;
+};
+
+struct LayerEvalStats {
+    std::string layer;
+    std::int64_t rows = 0, cols = 0;  // matrix dims actually mapped (post-T)
+    std::int64_t tiles = 0;
+    double nf_mean = 0.0;  // average NF over this layer's tiles (both arrays)
+    double w_ref = 0.0;
+};
+
+struct DegradeStats {
+    std::int64_t tiles = 0;
+    double nf_sum = 0.0;
+    std::int64_t nf_tiles = 0;
+
+    double nf_mean() const {
+        return nf_tiles ? nf_sum / static_cast<double>(nf_tiles) : 0.0;
+    }
+};
+
+struct EvalResult {
+    double accuracy = 0.0;          // % on the provided test set
+    double nf_mean = 0.0;           // tile-average NF across all layers
+    std::int64_t total_tiles = 0;   // logical crossbars mapped
+    std::vector<LayerEvalStats> layers;
+};
+
+// Degrade one MAC matrix through the full T→R→tile→G→G′→W′→R⁻¹→T⁻¹ pipeline.
+// `w_ref` must be positive. Stats (tile/NF counts) accumulate into `stats`.
+tensor::Tensor degrade_mac_matrix(const tensor::Tensor& matrix,
+                                  const EvalConfig& config, double w_ref,
+                                  util::Rng& rng, DegradeStats& stats);
+
+// Produce the non-ideal weight matrices for every mappable layer of `model`
+// without touching the model, keyed by layer name.
+std::map<std::string, tensor::Tensor> degrade_model_matrices(
+    nn::Sequential& model, const EvalConfig& config,
+    std::vector<LayerEvalStats>* layer_stats);
+
+// Full evaluation: swap in W′, measure test accuracy, restore the original
+// weights. The model is unchanged on return.
+EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
+                                 const EvalConfig& config);
+
+// NF measurement only (paper Fig. 3(d)) — no inference pass.
+EvalResult measure_nf(nn::Sequential& model, const EvalConfig& config);
+
+}  // namespace xs::core

@@ -1,0 +1,105 @@
+#include "core/experiments.h"
+
+#include "util/log.h"
+
+#include <filesystem>
+
+namespace xs::core {
+
+ExperimentContext::ExperimentContext(const util::Flags& flags) {
+    width_ = flags.get_double("width", 0.1875);
+    train_count_ = flags.get_int("train-count", 2048);
+    test_count_ = flags.get_int("test-count", 512);
+    epochs_ = flags.get_int("epochs", 5);
+    batch_ = flags.get_int("batch", 32);
+    sizes_ = flags.get_int_list("sizes", {16, 32, 64});
+    sigma_ = flags.get_double("sigma", 0.10);
+    sparsity10_ = flags.get_double("sparsity10", 0.8);
+    sparsity100_ = flags.get_double("sparsity100", 0.6);
+    seed_ = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+    eval_repeats_ = flags.get_int("eval-repeats", 2);
+    cache_dir_ = flags.get_string("cache-dir", "results/models");
+    out_dir_ = flags.get_string("out-dir", "results");
+    verbose_ = flags.get_bool("verbose", false);
+    if (verbose_) util::set_log_level(util::LogLevel::kDebug);
+}
+
+double ExperimentContext::sparsity_for(std::int64_t num_classes) const {
+    return num_classes >= 100 ? sparsity100_ : sparsity10_;
+}
+
+const data::TrainTest& ExperimentContext::dataset(std::int64_t num_classes) {
+    auto it = datasets_.find(num_classes);
+    if (it != datasets_.end()) return it->second;
+    const data::SyntheticSpec spec = num_classes >= 100
+                                         ? data::cifar100_like(seed_ + 100)
+                                         : data::cifar10_like(seed_);
+    util::log_info("generating " + std::to_string(num_classes) + "-class dataset (" +
+                   std::to_string(train_count_) + " train / " +
+                   std::to_string(test_count_) + " test)");
+    auto [pos, inserted] = datasets_.emplace(
+        num_classes, data::generate_split(spec, train_count_, test_count_));
+    (void)inserted;
+    return pos->second;
+}
+
+ModelSpec ExperimentContext::spec(const std::string& variant,
+                                  std::int64_t num_classes, prune::Method method,
+                                  double sparsity, bool wct) const {
+    ModelSpec s;
+    s.vgg.variant = variant;
+    s.vgg.num_classes = num_classes;
+    s.vgg.width = width_;
+    s.data = num_classes >= 100 ? data::cifar100_like(seed_ + 100)
+                                : data::cifar10_like(seed_);
+    s.train_count = train_count_;
+    s.test_count = test_count_;
+    s.prune.method = method;
+    s.prune.sparsity = sparsity;
+    s.train.epochs = epochs_;
+    s.train.batch_size = batch_;
+    s.train.seed = seed_ + 3;
+    s.train.verbose = verbose_;
+    s.init_seed = seed_ + 7;
+    s.wct = wct;
+    return s;
+}
+
+PreparedModel& ExperimentContext::prepared(const ModelSpec& spec) {
+    const std::string key = spec.key();
+    auto it = models_.find(key);
+    if (it != models_.end()) return *it->second;
+    const data::TrainTest& tt = dataset(spec.vgg.num_classes);
+    auto model = std::make_unique<PreparedModel>(
+        prepare_model(spec, tt.train, tt.test, cache_dir_, /*verbose=*/true));
+    auto [pos, inserted] = models_.emplace(key, std::move(model));
+    (void)inserted;
+    return *pos->second;
+}
+
+xbar::CrossbarConfig ExperimentContext::xbar(std::int64_t size) const {
+    xbar::CrossbarConfig config;
+    config.size = size;
+    config.device.sigma_variation = sigma_;
+    return config;
+}
+
+EvalConfig ExperimentContext::eval_config(const PreparedModel& model,
+                                          prune::Method method, std::int64_t size,
+                                          bool rearrange) const {
+    EvalConfig config;
+    config.xbar = xbar(size);
+    config.method = method;
+    config.rearrange = rearrange;
+    config.w_ref = model.w_ref;  // empty unless WCT
+    config.seed = seed_ + 77;
+    config.repeats = eval_repeats_;
+    return config;
+}
+
+std::string ExperimentContext::csv_path(const std::string& name) const {
+    std::filesystem::create_directories(out_dir_);
+    return out_dir_ + "/" + name;
+}
+
+}  // namespace xs::core

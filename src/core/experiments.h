@@ -1,0 +1,79 @@
+// Shared infrastructure for the bench binaries that regenerate the paper's
+// tables and figures: flag-driven experiment scale, dataset/model caching,
+// and standard EvalConfig construction.
+//
+// Common flags (all optional):
+//   --width=0.1875       VGG width multiplier
+//   --train-count=2048   training images per dataset
+//   --test-count=512     test images
+//   --epochs=5           training epochs
+//   --batch=32           batch size
+//   --sizes=16,32,64     crossbar sizes to sweep
+//   --sigma=0.10         device variation (sigma/G)
+//   --sparsity10=0.8     sparsity for the 10-class experiments (paper: 0.8)
+//   --sparsity100=0.6    sparsity for the 100-class experiments (paper: 0.6)
+//   --seed=11            master seed
+//   --cache-dir=results/models  trained-model cache
+//   --out-dir=results    CSV output directory
+//   --verbose            log training progress
+#pragma once
+
+#include "core/evaluator.h"
+#include "core/workspace.h"
+#include "util/flags.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xs::core {
+
+class ExperimentContext {
+public:
+    explicit ExperimentContext(const util::Flags& flags);
+
+    // ---- experiment scale (resolved from flags) ----
+    double width() const { return width_; }
+    const std::vector<std::int64_t>& sizes() const { return sizes_; }
+    double sparsity_for(std::int64_t num_classes) const;
+    const std::string& out_dir() const { return out_dir_; }
+    bool verbose() const { return verbose_; }
+
+    // Dataset for 10 or 100 classes (generated once, shared).
+    const data::TrainTest& dataset(std::int64_t num_classes);
+
+    // Model spec for a variant ("vgg11"/"vgg16"), class count and scheme.
+    ModelSpec spec(const std::string& variant, std::int64_t num_classes,
+                   prune::Method method, double sparsity, bool wct = false) const;
+
+    // Train-or-load; results cached in memory by spec key as well as on disk.
+    PreparedModel& prepared(const ModelSpec& spec);
+
+    // Crossbar configuration at a given size (device/parasitics from flags).
+    xbar::CrossbarConfig xbar(std::int64_t size) const;
+
+    // Evaluation config for a prepared model (WCT models get their frozen
+    // w_ref scales installed automatically).
+    EvalConfig eval_config(const PreparedModel& model, prune::Method method,
+                           std::int64_t size, bool rearrange = false) const;
+
+    // CSV path under out_dir (directories created on demand).
+    std::string csv_path(const std::string& name) const;
+
+private:
+    double width_;
+    std::int64_t train_count_, test_count_, epochs_, batch_;
+    std::vector<std::int64_t> sizes_;
+    double sigma_;
+    double sparsity10_, sparsity100_;
+    std::int64_t eval_repeats_ = 2;
+    std::uint64_t seed_;
+    std::string cache_dir_, out_dir_;
+    bool verbose_;
+
+    std::map<std::int64_t, data::TrainTest> datasets_;
+    std::map<std::string, std::unique_ptr<PreparedModel>> models_;
+};
+
+}  // namespace xs::core

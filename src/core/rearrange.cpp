@@ -1,0 +1,96 @@
+#include "core/rearrange.h"
+
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace xs::core {
+
+using tensor::check;
+using tensor::Tensor;
+
+double column_score(const Tensor& matrix, std::int64_t col) {
+    check(matrix.rank() == 2, "column_score: expects a rank-2 matrix");
+    const std::int64_t rows = matrix.dim(0);
+    double mu = 0.0;
+    for (std::int64_t r = 0; r < rows; ++r) mu += std::fabs(matrix.at(r, col));
+    mu /= static_cast<double>(rows);
+    double var = 0.0;
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const double d = std::fabs(matrix.at(r, col)) - mu;
+        var += d * d;
+    }
+    const double sigma = std::sqrt(var / static_cast<double>(rows));
+    return std::sqrt(mu * sigma);
+}
+
+Rearrangement compute_rearrangement(const Tensor& matrix, RearrangeOrder order) {
+    check(matrix.rank() == 2, "compute_rearrangement: expects a rank-2 matrix");
+    const std::int64_t cols = matrix.dim(1);
+    std::vector<double> scores(static_cast<std::size_t>(cols));
+    for (std::int64_t c = 0; c < cols; ++c)
+        scores[static_cast<std::size_t>(c)] = column_score(matrix, c);
+
+    std::vector<std::int64_t> ascending(static_cast<std::size_t>(cols));
+    std::iota(ascending.begin(), ascending.end(), 0);
+    std::stable_sort(ascending.begin(), ascending.end(),
+                     [&scores](std::int64_t a, std::int64_t b) {
+                         return scores[static_cast<std::size_t>(a)] <
+                                scores[static_cast<std::size_t>(b)];
+                     });
+
+    Rearrangement r;
+    if (order == RearrangeOrder::kAscending) {
+        r.perm = std::move(ascending);
+        return r;
+    }
+    // Centre-out: place the lowest scores in the middle positions, growing
+    // outward alternately left/right, so heatmaps show light centres and
+    // dark peripheries as in the paper's Fig. 3(f).
+    r.perm.assign(static_cast<std::size_t>(cols), 0);
+    std::int64_t left = (cols - 1) / 2, right = (cols - 1) / 2 + 1;
+    bool to_left = true;
+    for (const std::int64_t col : ascending) {
+        if (to_left && left >= 0) {
+            r.perm[static_cast<std::size_t>(left--)] = col;
+        } else if (right < cols) {
+            r.perm[static_cast<std::size_t>(right++)] = col;
+        } else {
+            r.perm[static_cast<std::size_t>(left--)] = col;
+        }
+        to_left = !to_left;
+    }
+    return r;
+}
+
+Tensor apply_columns(const Tensor& matrix, const Rearrangement& r) {
+    check(matrix.rank() == 2 &&
+              matrix.dim(1) == static_cast<std::int64_t>(r.perm.size()),
+          "apply_columns: permutation size mismatch");
+    const std::int64_t rows = matrix.dim(0), cols = matrix.dim(1);
+    Tensor out({rows, cols});
+    for (std::int64_t c = 0; c < cols; ++c) {
+        const std::int64_t src = r.perm[static_cast<std::size_t>(c)];
+        for (std::int64_t row = 0; row < rows; ++row)
+            out.at(row, c) = matrix.at(row, src);
+    }
+    return out;
+}
+
+Tensor invert_columns(const Tensor& matrix, const Rearrangement& r) {
+    check(matrix.rank() == 2 &&
+              matrix.dim(1) == static_cast<std::int64_t>(r.perm.size()),
+          "invert_columns: permutation size mismatch");
+    const std::int64_t rows = matrix.dim(0), cols = matrix.dim(1);
+    Tensor out({rows, cols});
+    for (std::int64_t c = 0; c < cols; ++c) {
+        const std::int64_t dst = r.perm[static_cast<std::size_t>(c)];
+        for (std::int64_t row = 0; row < rows; ++row)
+            out.at(row, dst) = matrix.at(row, c);
+    }
+    return out;
+}
+
+}  // namespace xs::core

@@ -1,0 +1,48 @@
+// Model preparation with on-disk caching. The benchmark binaries share
+// trained models: the first bench that needs "VGG11/C10-like, C/F s=0.8"
+// trains and caches it; every other bench (and re-run) loads the checkpoint.
+#pragma once
+
+#include "core/wct.h"
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+#include "nn/vgg.h"
+#include "prune/prune.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace xs::core {
+
+struct ModelSpec {
+    nn::VggConfig vgg;
+    data::SyntheticSpec data;
+    std::int64_t train_count = 2560;
+    std::int64_t test_count = 512;
+    prune::PruneConfig prune;  // method kNone => unpruned
+    nn::TrainConfig train;
+    bool wct = false;
+    WctConfig wct_config;
+    std::uint64_t init_seed = 11;
+
+    // Filesystem-safe cache key covering every field that changes weights.
+    std::string key() const;
+};
+
+struct PreparedModel {
+    nn::Sequential model;
+    prune::MaskSet masks;
+    double software_accuracy = 0.0;  // % on the spec's test split
+    std::map<std::string, double> w_ref;  // non-empty for WCT models
+    bool from_cache = false;
+};
+
+// Train (or load from `cache_dir`) the model described by `spec`, using the
+// provided train/test datasets (they must match spec.data/train_count —
+// callers generate them once and share across specs).
+PreparedModel prepare_model(const ModelSpec& spec, const nn::Dataset& train_data,
+                            const nn::Dataset& test_data,
+                            const std::string& cache_dir, bool verbose);
+
+}  // namespace xs::core

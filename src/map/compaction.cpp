@@ -1,0 +1,55 @@
+#include "map/compaction.h"
+
+namespace xs::map {
+
+using tensor::check;
+using tensor::Tensor;
+
+Compaction compact_dense(const Tensor& matrix) {
+    check(matrix.rank() == 2, "compact_dense: expects a rank-2 matrix");
+    const std::int64_t rows = matrix.dim(0), cols = matrix.dim(1);
+
+    Compaction c;
+    c.orig_rows = rows;
+    c.orig_cols = cols;
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float* p = matrix.data() + r * cols;
+        for (std::int64_t j = 0; j < cols; ++j)
+            if (p[j] != 0.0f) {
+                c.rows.push_back(r);
+                break;
+            }
+    }
+    for (std::int64_t j = 0; j < cols; ++j) {
+        bool nonzero = false;
+        for (std::int64_t r = 0; r < rows && !nonzero; ++r)
+            nonzero = matrix.at(r, j) != 0.0f;
+        if (nonzero) c.cols.push_back(j);
+    }
+    if (c.rows.empty()) c.rows.push_back(0);
+    if (c.cols.empty()) c.cols.push_back(0);
+
+    c.matrix = Tensor({static_cast<std::int64_t>(c.rows.size()),
+                       static_cast<std::int64_t>(c.cols.size())});
+    for (std::size_t ri = 0; ri < c.rows.size(); ++ri)
+        for (std::size_t ci = 0; ci < c.cols.size(); ++ci)
+            c.matrix.at(static_cast<std::int64_t>(ri), static_cast<std::int64_t>(ci)) =
+                matrix.at(c.rows[ri], c.cols[ci]);
+    return c;
+}
+
+Tensor uncompact(const Compaction& compaction, const Tensor& modified) {
+    check(modified.rank() == 2 &&
+              modified.dim(0) == static_cast<std::int64_t>(compaction.rows.size()) &&
+              modified.dim(1) == static_cast<std::int64_t>(compaction.cols.size()),
+          "uncompact: modified matrix shape mismatch");
+    Tensor out({compaction.orig_rows, compaction.orig_cols}, 0.0f);
+    for (std::size_t ri = 0; ri < compaction.rows.size(); ++ri)
+        for (std::size_t ci = 0; ci < compaction.cols.size(); ++ci)
+            out.at(compaction.rows[ri], compaction.cols[ci]) =
+                modified.at(static_cast<std::int64_t>(ri),
+                            static_cast<std::int64_t>(ci));
+    return out;
+}
+
+}  // namespace xs::map

@@ -1,0 +1,33 @@
+// Structured-compaction transform T and its inverse T⁻¹ (paper §III).
+//
+// For C/F-pruned layers: every all-zero column (pruned filter) and all-zero
+// row (channel removed by the previous layer's pruning) of the MAC matrix is
+// eliminated before partitioning; after non-ideality injection the modified
+// matrix is scattered back, with eliminated entries restored as exact zeros.
+#pragma once
+
+#include "tensor/tensor.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace xs::map {
+
+struct Compaction {
+    std::int64_t orig_rows = 0;
+    std::int64_t orig_cols = 0;
+    std::vector<std::int64_t> rows;  // kept row indices, ascending
+    std::vector<std::int64_t> cols;  // kept column indices, ascending
+    tensor::Tensor matrix;           // (rows.size() × cols.size())
+};
+
+// T: drop all-zero rows and all-zero columns. Keeps at least one row and one
+// column even for an all-zero matrix (degenerate but well-formed).
+Compaction compact_dense(const tensor::Tensor& matrix);
+
+// T⁻¹: place `modified` (same shape as compaction.matrix) back into a
+// (orig_rows × orig_cols) matrix; eliminated entries are zero.
+tensor::Tensor uncompact(const Compaction& compaction,
+                         const tensor::Tensor& modified);
+
+}  // namespace xs::map

@@ -1,0 +1,50 @@
+#include "map/compression.h"
+
+#include "map/compaction.h"
+#include "map/matrix_view.h"
+#include "map/tiling.h"
+
+namespace xs::map {
+
+CrossbarBudget count_crossbars(nn::Sequential& model, prune::Method method,
+                               std::int64_t xbar_size) {
+    CrossbarBudget budget;
+    budget.xbar_size = xbar_size;
+
+    for (nn::Layer* layer : mappable_layers(model)) {
+        const tensor::Tensor matrix = extract_matrix(*layer);
+        LayerCrossbarCount entry;
+        entry.layer = layer->name();
+        entry.rows = matrix.dim(0);
+        entry.cols = matrix.dim(1);
+        entry.dense_tiles =
+            tile_dense(entry.rows, entry.cols, xbar_size).count();
+
+        switch (method) {
+            case prune::Method::kNone:
+            case prune::Method::kUnstructured:
+                // Scattered element zeros save no crossbars.
+                entry.tiles = entry.dense_tiles;
+                break;
+            case prune::Method::kChannelFilter: {
+                const Compaction c = compact_dense(matrix);
+                entry.tiles = tile_dense(c.matrix.dim(0), c.matrix.dim(1),
+                                         xbar_size)
+                                  .count();
+                break;
+            }
+            case prune::Method::kXbarColumn:
+                entry.tiles = tile_xcs(matrix, xbar_size).count();
+                break;
+            case prune::Method::kXbarRow:
+                entry.tiles = tile_xrs(matrix, xbar_size).count();
+                break;
+        }
+        budget.dense_total += entry.dense_tiles;
+        budget.total += entry.tiles;
+        budget.layers.push_back(std::move(entry));
+    }
+    return budget;
+}
+
+}  // namespace xs::map

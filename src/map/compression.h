@@ -1,0 +1,42 @@
+// Crossbar accounting: how many X×X crossbars a model needs under each
+// pruning scheme, and the crossbar-compression-rate of paper Table I
+// (crossbars for the unpruned layout ÷ crossbars after T-compaction).
+#pragma once
+
+#include "nn/sequential.h"
+#include "prune/prune.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xs::map {
+
+struct LayerCrossbarCount {
+    std::string layer;
+    std::int64_t rows = 0;        // original MAC-matrix rows
+    std::int64_t cols = 0;        // original MAC-matrix cols
+    std::int64_t dense_tiles = 0; // tiles for the unpruned layout
+    std::int64_t tiles = 0;       // tiles after the scheme's T-compaction
+};
+
+struct CrossbarBudget {
+    std::int64_t xbar_size = 0;
+    std::vector<LayerCrossbarCount> layers;
+    std::int64_t dense_total = 0;
+    std::int64_t total = 0;
+
+    double compression_rate() const {
+        return total ? static_cast<double>(dense_total) / static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+// Counts crossbars for every mappable layer under `method` semantics:
+//  * kNone           — dense tiling of the full matrices;
+//  * kChannelFilter  — dense tiling after dropping all-zero rows/columns;
+//  * kXbarColumn/Row — XCS/XRS segment packing.
+CrossbarBudget count_crossbars(nn::Sequential& model, prune::Method method,
+                               std::int64_t xbar_size);
+
+}  // namespace xs::map

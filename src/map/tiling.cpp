@@ -1,0 +1,106 @@
+#include "map/tiling.h"
+
+namespace xs::map {
+
+using tensor::check;
+using tensor::Tensor;
+
+Tiling tile_dense(std::int64_t rows, std::int64_t cols, std::int64_t xbar_size) {
+    check(rows > 0 && cols > 0 && xbar_size > 0, "tile_dense: bad dimensions");
+    Tiling t;
+    t.xbar_size = xbar_size;
+    t.matrix_rows = rows;
+    t.matrix_cols = cols;
+    for (std::int64_t r0 = 0; r0 < rows; r0 += xbar_size) {
+        for (std::int64_t c0 = 0; c0 < cols; c0 += xbar_size) {
+            Tile tile;
+            for (std::int64_t r = r0; r < std::min(rows, r0 + xbar_size); ++r)
+                tile.rows.push_back(r);
+            for (std::int64_t c = c0; c < std::min(cols, c0 + xbar_size); ++c)
+                tile.cols.push_back(c);
+            t.tiles.push_back(std::move(tile));
+        }
+    }
+    return t;
+}
+
+Tiling tile_xcs(const Tensor& matrix, std::int64_t xbar_size) {
+    check(matrix.rank() == 2, "tile_xcs: expects a rank-2 matrix");
+    const std::int64_t rows = matrix.dim(0), cols = matrix.dim(1);
+    Tiling t;
+    t.xbar_size = xbar_size;
+    t.matrix_rows = rows;
+    t.matrix_cols = cols;
+
+    for (std::int64_t r0 = 0; r0 < rows; r0 += xbar_size) {
+        const std::int64_t r1 = std::min(rows, r0 + xbar_size);
+        // Surviving columns: the segment [r0, r1) × {c} has a non-zero entry.
+        std::vector<std::int64_t> survivors;
+        for (std::int64_t c = 0; c < cols; ++c) {
+            bool nonzero = false;
+            for (std::int64_t r = r0; r < r1 && !nonzero; ++r)
+                nonzero = matrix.at(r, c) != 0.0f;
+            if (nonzero) survivors.push_back(c);
+        }
+        if (survivors.empty()) continue;
+        for (std::size_t s0 = 0; s0 < survivors.size();
+             s0 += static_cast<std::size_t>(xbar_size)) {
+            Tile tile;
+            for (std::int64_t r = r0; r < r1; ++r) tile.rows.push_back(r);
+            const std::size_t s1 = std::min(
+                survivors.size(), s0 + static_cast<std::size_t>(xbar_size));
+            for (std::size_t s = s0; s < s1; ++s) tile.cols.push_back(survivors[s]);
+            t.tiles.push_back(std::move(tile));
+        }
+    }
+    return t;
+}
+
+Tiling tile_xrs(const Tensor& matrix, std::int64_t xbar_size) {
+    check(matrix.rank() == 2, "tile_xrs: expects a rank-2 matrix");
+    const std::int64_t rows = matrix.dim(0), cols = matrix.dim(1);
+    Tiling t;
+    t.xbar_size = xbar_size;
+    t.matrix_rows = rows;
+    t.matrix_cols = cols;
+
+    for (std::int64_t c0 = 0; c0 < cols; c0 += xbar_size) {
+        const std::int64_t c1 = std::min(cols, c0 + xbar_size);
+        std::vector<std::int64_t> survivors;
+        for (std::int64_t r = 0; r < rows; ++r) {
+            bool nonzero = false;
+            for (std::int64_t c = c0; c < c1 && !nonzero; ++c)
+                nonzero = matrix.at(r, c) != 0.0f;
+            if (nonzero) survivors.push_back(r);
+        }
+        if (survivors.empty()) continue;
+        for (std::size_t s0 = 0; s0 < survivors.size();
+             s0 += static_cast<std::size_t>(xbar_size)) {
+            Tile tile;
+            const std::size_t s1 = std::min(
+                survivors.size(), s0 + static_cast<std::size_t>(xbar_size));
+            for (std::size_t s = s0; s < s1; ++s) tile.rows.push_back(survivors[s]);
+            for (std::int64_t c = c0; c < c1; ++c) tile.cols.push_back(c);
+            t.tiles.push_back(std::move(tile));
+        }
+    }
+    return t;
+}
+
+Tensor extract_tile(const Tensor& matrix, const Tile& tile, std::int64_t xbar_size) {
+    Tensor sub({xbar_size, xbar_size}, 0.0f);
+    for (std::size_t i = 0; i < tile.rows.size(); ++i)
+        for (std::size_t j = 0; j < tile.cols.size(); ++j)
+            sub.at(static_cast<std::int64_t>(i), static_cast<std::int64_t>(j)) =
+                matrix.at(tile.rows[i], tile.cols[j]);
+    return sub;
+}
+
+void scatter_tile(Tensor& matrix, const Tile& tile, const Tensor& sub) {
+    for (std::size_t i = 0; i < tile.rows.size(); ++i)
+        for (std::size_t j = 0; j < tile.cols.size(); ++j)
+            matrix.at(tile.rows[i], tile.cols[j]) =
+                sub.at(static_cast<std::int64_t>(i), static_cast<std::int64_t>(j));
+}
+
+}  // namespace xs::map

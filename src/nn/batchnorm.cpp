@@ -1,0 +1,121 @@
+#include "nn/batchnorm.h"
+
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace xs::nn {
+
+using tensor::check;
+using tensor::shape_to_string;
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : channels_(channels), eps_(eps), momentum_(momentum) {
+    check(channels > 0, "BatchNorm2d: channels must be positive");
+    gamma_ = Param("gamma", Tensor({channels}, 1.0f));
+    beta_ = Param("beta", Tensor({channels}, 0.0f));
+    running_mean_ = Tensor({channels}, 0.0f);
+    running_var_ = Tensor({channels}, 1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
+    check(x.rank() == 4 && x.dim(1) == channels_,
+          "BatchNorm2d " + name() + ": bad input " + shape_to_string(x.shape()));
+    const std::int64_t n = x.dim(0), hw = x.dim(2) * x.dim(3);
+    const std::int64_t count = n * hw;
+
+    input_ = x;
+    batch_mean_.assign(static_cast<std::size_t>(channels_), 0.0);
+    batch_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0);
+
+    Tensor y(x.shape());
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        double mean, var;
+        if (training) {
+            double acc = 0.0;
+            for (std::int64_t i = 0; i < n; ++i) {
+                const float* p = x.data() + (i * channels_ + c) * hw;
+                for (std::int64_t q = 0; q < hw; ++q) acc += p[q];
+            }
+            mean = acc / static_cast<double>(count);
+            double vacc = 0.0;
+            for (std::int64_t i = 0; i < n; ++i) {
+                const float* p = x.data() + (i * channels_ + c) * hw;
+                for (std::int64_t q = 0; q < hw; ++q) {
+                    const double d = p[q] - mean;
+                    vacc += d * d;
+                }
+            }
+            var = vacc / static_cast<double>(count);
+            running_mean_[c] = static_cast<float>((1.0 - momentum_) * running_mean_[c] +
+                                                  momentum_ * mean);
+            running_var_[c] = static_cast<float>((1.0 - momentum_) * running_var_[c] +
+                                                 momentum_ * var);
+        } else {
+            mean = running_mean_[c];
+            var = running_var_[c];
+        }
+        const double inv_std = 1.0 / std::sqrt(var + eps_);
+        batch_mean_[static_cast<std::size_t>(c)] = mean;
+        batch_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+        const float g = gamma_.value[c], b = beta_.value[c];
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float* px = x.data() + (i * channels_ + c) * hw;
+            float* py = y.data() + (i * channels_ + c) * hw;
+            for (std::int64_t q = 0; q < hw; ++q)
+                py[q] = static_cast<float>(g * (px[q] - mean) * inv_std + b);
+        }
+    }
+    return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& dy) {
+    const std::int64_t n = input_.dim(0), hw = input_.dim(2) * input_.dim(3);
+    const std::int64_t count = n * hw;
+    check(dy.same_shape(input_), "BatchNorm2d " + name() + ": grad shape mismatch");
+
+    Tensor dx(input_.shape());
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        const double mean = batch_mean_[static_cast<std::size_t>(c)];
+        const double inv_std = batch_inv_std_[static_cast<std::size_t>(c)];
+        const double g = gamma_.value[c];
+
+        // Accumulate dL/dgamma, dL/dbeta, and the two reduction terms of the
+        // batch-norm backward formula.
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float* pdy = dy.data() + (i * channels_ + c) * hw;
+            const float* px = input_.data() + (i * channels_ + c) * hw;
+            for (std::int64_t q = 0; q < hw; ++q) {
+                const double xhat = (px[q] - mean) * inv_std;
+                sum_dy += pdy[q];
+                sum_dy_xhat += pdy[q] * xhat;
+            }
+        }
+        gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+        beta_.grad[c] += static_cast<float>(sum_dy);
+
+        const double inv_count = 1.0 / static_cast<double>(count);
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float* pdy = dy.data() + (i * channels_ + c) * hw;
+            const float* px = input_.data() + (i * channels_ + c) * hw;
+            float* pdx = dx.data() + (i * channels_ + c) * hw;
+            for (std::int64_t q = 0; q < hw; ++q) {
+                const double xhat = (px[q] - mean) * inv_std;
+                pdx[q] = static_cast<float>(
+                    g * inv_std *
+                    (pdy[q] - inv_count * (sum_dy + xhat * sum_dy_xhat)));
+            }
+        }
+    }
+    return dx;
+}
+
+std::string BatchNorm2d::describe() const {
+    std::ostringstream os;
+    os << "BatchNorm2d(" << channels_ << ")";
+    return os.str();
+}
+
+}  // namespace xs::nn

@@ -1,0 +1,38 @@
+// BatchNorm2d over (N, C, H, W): per-channel normalization with learnable
+// affine. Kept in the digital periphery on hardware — crossbar non-idealities
+// apply only to conv/linear weight matrices (see DESIGN.md §2).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace xs::nn {
+
+class BatchNorm2d : public Layer {
+public:
+    explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f,
+                         float momentum = 0.1f);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+    std::string type() const override { return "BatchNorm2d"; }
+    std::string describe() const override;
+
+    std::int64_t channels() const { return channels_; }
+    Param& gamma() { return gamma_; }
+    Param& beta() { return beta_; }
+    Tensor& running_mean() { return running_mean_; }
+    Tensor& running_var() { return running_var_; }
+
+private:
+    std::int64_t channels_;
+    float eps_, momentum_;
+    Param gamma_, beta_;
+    Tensor running_mean_, running_var_;
+
+    // Cached batch statistics for backward.
+    Tensor input_;
+    std::vector<double> batch_mean_, batch_inv_std_;
+};
+
+}  // namespace xs::nn

@@ -1,0 +1,136 @@
+#include "nn/conv2d.h"
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "util/parallel.h"
+
+#include <sstream>
+
+namespace xs::nn {
+
+using tensor::check;
+using tensor::shape_to_string;
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               util::Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias) {
+    check(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+          "Conv2d: dimensions must be positive");
+    weight_ = Param("weight", Tensor({out_channels, in_channels, kernel, kernel}));
+    tensor::fill_kaiming(weight_.value, rng, in_channels * kernel * kernel);
+    if (has_bias_) bias_ = Param("bias", Tensor({out_channels}));
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
+    check(x.rank() == 4 && x.dim(1) == in_channels_,
+          "Conv2d " + name() + ": bad input shape " + shape_to_string(x.shape()));
+    const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+    out_h_ = tensor::conv_out_size(h, kernel_, stride_, pad_);
+    out_w_ = tensor::conv_out_size(w, kernel_, stride_, pad_);
+    const std::int64_t patch = in_channels_ * kernel_ * kernel_;
+    const std::int64_t out_hw = out_h_ * out_w_;
+
+    input_ = x;
+    cols_.assign(static_cast<std::size_t>(n), Tensor({patch, out_hw}));
+    Tensor y({n, out_channels_, out_h_, out_w_});
+
+    // Images are independent: parallelize the batch across workers.
+    util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t idx) {
+        const auto i = static_cast<std::int64_t>(idx);
+        Tensor& col = cols_[idx];
+        tensor::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w,
+                       kernel_, kernel_, stride_, pad_, col.data());
+        // y_i (Cout × out_hw) = W (Cout × patch) · col (patch × out_hw)
+        tensor::gemm_serial(out_channels_, out_hw, patch, 1.0f,
+                            weight_.value.data(), patch, col.data(), out_hw, 0.0f,
+                            y.data() + i * out_channels_ * out_hw, out_hw);
+    });
+    if (has_bias_) {
+        float* py = y.data();
+        for (std::int64_t i = 0; i < n; ++i)
+            for (std::int64_t c = 0; c < out_channels_; ++c) {
+                const float b = bias_.value[c];
+                float* row = py + (i * out_channels_ + c) * out_hw;
+                for (std::int64_t p = 0; p < out_hw; ++p) row[p] += b;
+            }
+    }
+    return y;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+    const std::int64_t n = input_.dim(0), h = input_.dim(2), w = input_.dim(3);
+    const std::int64_t patch = in_channels_ * kernel_ * kernel_;
+    const std::int64_t out_hw = out_h_ * out_w_;
+    check(dy.rank() == 4 && dy.dim(0) == n && dy.dim(1) == out_channels_ &&
+              dy.dim(2) == out_h_ && dy.dim(3) == out_w_,
+          "Conv2d " + name() + ": bad grad shape " + shape_to_string(dy.shape()));
+
+    Tensor dx({n, in_channels_, h, w});
+
+    // Phase 1 — input gradients, parallel over images (disjoint dx slices).
+    util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t idx) {
+        const auto i = static_cast<std::int64_t>(idx);
+        const float* dyi = dy.data() + i * out_channels_ * out_hw;
+        Tensor dcol({patch, out_hw});
+        // dcol (patch × out_hw) = Wᵀ (patch × Cout) · dy_i (Cout × out_hw)
+        for (std::int64_t c = 0; c < out_channels_; ++c) {
+            const float* wr = weight_.value.data() + c * patch;
+            const float* dyr = dyi + c * out_hw;
+            for (std::int64_t p = 0; p < patch; ++p) {
+                const float wcp = wr[p];
+                if (wcp == 0.0f) continue;
+                float* dcr = dcol.data() + p * out_hw;
+                for (std::int64_t q = 0; q < out_hw; ++q) dcr[q] += wcp * dyr[q];
+            }
+        }
+        tensor::col2im(dcol.data(), in_channels_, h, w, kernel_, kernel_, stride_,
+                       pad_, dx.data() + i * in_channels_ * h * w);
+    });
+
+    // Phase 2 — weight/bias gradients, parallel over output channels
+    // (disjoint dW rows): dW[c,p] += Σ_i Σ_q dy_i[c,q] · col_i[p,q].
+    util::parallel_for(0, static_cast<std::size_t>(out_channels_),
+                       [&](std::size_t cidx) {
+        const auto c = static_cast<std::int64_t>(cidx);
+        float* dwr = weight_.grad.data() + c * patch;
+        double bias_acc = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float* dyr = dy.data() + (i * out_channels_ + c) * out_hw;
+            const Tensor& col = cols_[static_cast<std::size_t>(i)];
+            for (std::int64_t p = 0; p < patch; ++p) {
+                const float* colr = col.data() + p * out_hw;
+                double acc = 0.0;
+                for (std::int64_t q = 0; q < out_hw; ++q)
+                    acc += static_cast<double>(dyr[q]) * colr[q];
+                dwr[p] += static_cast<float>(acc);
+            }
+            if (has_bias_)
+                for (std::int64_t q = 0; q < out_hw; ++q) bias_acc += dyr[q];
+        }
+        if (has_bias_) bias_.grad[c] += static_cast<float>(bias_acc);
+    });
+    return dx;
+}
+
+std::vector<Param*> Conv2d::params() {
+    std::vector<Param*> ps{&weight_};
+    if (has_bias_) ps.push_back(&bias_);
+    return ps;
+}
+
+std::string Conv2d::describe() const {
+    std::ostringstream os;
+    os << "Conv2d(" << in_channels_ << " -> " << out_channels_ << ", k=" << kernel_
+       << ", s=" << stride_ << ", p=" << pad_ << (has_bias_ ? "" : ", no bias")
+       << ")";
+    return os.str();
+}
+
+}  // namespace xs::nn

@@ -1,0 +1,44 @@
+// 2-D convolution implemented as im2col + GEMM — the same unrolling used to
+// form the 2-D weight matrices that get partitioned onto crossbars.
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace xs::nn {
+
+class Conv2d : public Layer {
+public:
+    // Square kernels, symmetric padding. Weight layout: (Cout, Cin, k, k);
+    // flattened row-major this is exactly the (Cout × Cin·k·k) MAC matrix.
+    Conv2d(std::int64_t in_channels, std::int64_t out_channels, std::int64_t kernel,
+           std::int64_t stride, std::int64_t pad, util::Rng& rng, bool bias = true);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::vector<Param*> params() override;
+    std::string type() const override { return "Conv2d"; }
+    std::string describe() const override;
+
+    std::int64_t in_channels() const { return in_channels_; }
+    std::int64_t out_channels() const { return out_channels_; }
+    std::int64_t kernel() const { return kernel_; }
+
+    Param& weight() { return weight_; }
+    const Param& weight() const { return weight_; }
+    bool has_bias() const { return has_bias_; }
+    Param& bias() { return bias_; }
+
+private:
+    std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
+    bool has_bias_;
+    Param weight_;
+    Param bias_;
+
+    // Cached for backward.
+    Tensor input_;                      // (N, C, H, W)
+    std::vector<Tensor> cols_;          // per-image im2col buffers
+    std::int64_t out_h_ = 0, out_w_ = 0;
+};
+
+}  // namespace xs::nn

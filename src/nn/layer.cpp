@@ -1,0 +1,5 @@
+#include "nn/layer.h"
+
+// Currently the Layer base is header-only; this TU anchors the vtable.
+
+namespace xs::nn {}

@@ -1,0 +1,81 @@
+// Stateless / lightweight layers: ReLU, MaxPool2d, AvgPool2d, Flatten,
+// Dropout.
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+#include <vector>
+
+namespace xs::nn {
+
+class ReLU : public Layer {
+public:
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string type() const override { return "ReLU"; }
+
+private:
+    Tensor input_;
+};
+
+// Non-overlapping max pooling (kernel == stride), the VGG configuration.
+class MaxPool2d : public Layer {
+public:
+    explicit MaxPool2d(std::int64_t kernel);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string type() const override { return "MaxPool2d"; }
+    std::string describe() const override;
+
+private:
+    std::int64_t kernel_;
+    tensor::Shape in_shape_;
+    std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+class AvgPool2d : public Layer {
+public:
+    explicit AvgPool2d(std::int64_t kernel);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string type() const override { return "AvgPool2d"; }
+    std::string describe() const override;
+
+private:
+    std::int64_t kernel_;
+    tensor::Shape in_shape_;
+};
+
+// (N, C, H, W) -> (N, C*H*W)
+class Flatten : public Layer {
+public:
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string type() const override { return "Flatten"; }
+
+private:
+    tensor::Shape in_shape_;
+};
+
+// Inverted dropout: scales kept activations by 1/(1-p) during training so
+// inference is a no-op.
+class Dropout : public Layer {
+public:
+    Dropout(float p, util::Rng& rng);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::string type() const override { return "Dropout"; }
+    std::string describe() const override;
+
+private:
+    float p_;
+    util::Rng rng_;
+    Tensor mask_;
+    bool mask_valid_ = false;
+};
+
+}  // namespace xs::nn

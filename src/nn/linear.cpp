@@ -1,0 +1,77 @@
+#include "nn/linear.h"
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+#include <sstream>
+
+namespace xs::nn {
+
+using tensor::check;
+using tensor::shape_to_string;
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+               bool bias)
+    : in_features_(in_features), out_features_(out_features), has_bias_(bias) {
+    check(in_features > 0 && out_features > 0, "Linear: dimensions must be positive");
+    weight_ = Param("weight", Tensor({out_features, in_features}));
+    tensor::fill_kaiming(weight_.value, rng, in_features);
+    if (has_bias_) bias_ = Param("bias", Tensor({out_features}));
+}
+
+Tensor Linear::forward(const Tensor& x, bool /*training*/) {
+    check(x.rank() == 2 && x.dim(1) == in_features_,
+          "Linear " + name() + ": bad input shape " + shape_to_string(x.shape()));
+    input_ = x;
+    const std::int64_t n = x.dim(0);
+    Tensor y({n, out_features_});
+    // y = x (n × in) · Wᵀ (in × out)
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* xi = x.data() + i * in_features_;
+        float* yi = y.data() + i * out_features_;
+        for (std::int64_t o = 0; o < out_features_; ++o) {
+            const float* wr = weight_.value.data() + o * in_features_;
+            double acc = has_bias_ ? bias_.value[o] : 0.0f;
+            for (std::int64_t j = 0; j < in_features_; ++j)
+                acc += static_cast<double>(xi[j]) * wr[j];
+            yi[o] = static_cast<float>(acc);
+        }
+    }
+    return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+    const std::int64_t n = input_.dim(0);
+    check(dy.rank() == 2 && dy.dim(0) == n && dy.dim(1) == out_features_,
+          "Linear " + name() + ": bad grad shape " + shape_to_string(dy.shape()));
+    // dW (out × in) += dyᵀ (out × n) · x (n × in)
+    tensor::gemm(out_features_, in_features_, n, 1.0f,
+                 tensor::transpose(dy).data(), n, input_.data(), in_features_,
+                 1.0f, weight_.grad.data(), in_features_);
+    // dx (n × in) = dy (n × out) · W (out × in)
+    Tensor dx({n, in_features_});
+    tensor::gemm(n, in_features_, out_features_, 1.0f, dy.data(), out_features_,
+                 weight_.value.data(), in_features_, 0.0f, dx.data(), in_features_);
+    if (has_bias_) {
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float* dyr = dy.data() + i * out_features_;
+            for (std::int64_t o = 0; o < out_features_; ++o) bias_.grad[o] += dyr[o];
+        }
+    }
+    return dx;
+}
+
+std::vector<Param*> Linear::params() {
+    std::vector<Param*> ps{&weight_};
+    if (has_bias_) ps.push_back(&bias_);
+    return ps;
+}
+
+std::string Linear::describe() const {
+    std::ostringstream os;
+    os << "Linear(" << in_features_ << " -> " << out_features_
+       << (has_bias_ ? "" : ", no bias") << ")";
+    return os.str();
+}
+
+}  // namespace xs::nn

@@ -1,0 +1,37 @@
+// Fully-connected layer: y = x·Wᵀ + b, weights (out × in) so a row is one
+// output neuron — the same matrix orientation the crossbar mapper consumes
+// (columns of the transposed matrix are crossbar columns).
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace xs::nn {
+
+class Linear : public Layer {
+public:
+    Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+           bool bias = true);
+
+    Tensor forward(const Tensor& x, bool training) override;
+    Tensor backward(const Tensor& dy) override;
+    std::vector<Param*> params() override;
+    std::string type() const override { return "Linear"; }
+    std::string describe() const override;
+
+    std::int64_t in_features() const { return in_features_; }
+    std::int64_t out_features() const { return out_features_; }
+    Param& weight() { return weight_; }
+    const Param& weight() const { return weight_; }
+    bool has_bias() const { return has_bias_; }
+    Param& bias() { return bias_; }
+
+private:
+    std::int64_t in_features_, out_features_;
+    bool has_bias_;
+    Param weight_;  // (out, in)
+    Param bias_;    // (out)
+    Tensor input_;  // (N, in) cached for backward
+};
+
+}  // namespace xs::nn

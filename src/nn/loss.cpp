@@ -1,0 +1,64 @@
+#include "nn/loss.h"
+
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xs::nn {
+
+using tensor::check;
+using tensor::Tensor;
+
+Tensor softmax(const Tensor& logits) {
+    check(logits.rank() == 2, "softmax expects (N, classes)");
+    const std::int64_t n = logits.dim(0), k = logits.dim(1);
+    Tensor out(logits.shape());
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* row = logits.data() + i * k;
+        float* orow = out.data() + i * k;
+        float m = row[0];
+        for (std::int64_t j = 1; j < k; ++j) m = std::max(m, row[j]);
+        double z = 0.0;
+        for (std::int64_t j = 0; j < k; ++j) {
+            orow[j] = std::exp(row[j] - m);
+            z += orow[j];
+        }
+        const float inv_z = static_cast<float>(1.0 / z);
+        for (std::int64_t j = 0; j < k; ++j) orow[j] *= inv_z;
+    }
+    return out;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+    check(logits.rank() == 2, "softmax_cross_entropy expects (N, classes)");
+    const std::int64_t n = logits.dim(0), k = logits.dim(1);
+    check(static_cast<std::int64_t>(labels.size()) == n,
+          "softmax_cross_entropy: label count mismatch");
+
+    LossResult result;
+    result.grad = softmax(logits);
+    const float inv_n = 1.0f / static_cast<float>(n);
+
+    double loss = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t y = labels[static_cast<std::size_t>(i)];
+        check(y >= 0 && y < k, "softmax_cross_entropy: label out of range");
+        float* grow = result.grad.data() + i * k;
+        // top-1 before mutating the row
+        std::int64_t best = 0;
+        for (std::int64_t j = 1; j < k; ++j)
+            if (grow[j] > grow[best]) best = j;
+        if (best == y) ++result.correct;
+
+        const double p = std::max(static_cast<double>(grow[y]), 1e-12);
+        loss -= std::log(p);
+        grow[y] -= 1.0f;
+        for (std::int64_t j = 0; j < k; ++j) grow[j] *= inv_n;
+    }
+    result.loss = loss / static_cast<double>(n);
+    return result;
+}
+
+}  // namespace xs::nn

@@ -1,0 +1,24 @@
+// Softmax cross-entropy on logits, with the fused gradient (softmax − onehot)/N.
+#pragma once
+
+#include "tensor/tensor.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace xs::nn {
+
+struct LossResult {
+    double loss = 0.0;          // mean over the batch
+    tensor::Tensor grad;        // dL/dlogits, same shape as logits
+    std::int64_t correct = 0;   // top-1 hits in the batch
+};
+
+// logits: (N, classes); labels: N entries in [0, classes).
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+// Row-wise softmax (numerically stabilized); used for probability readout.
+tensor::Tensor softmax(const tensor::Tensor& logits);
+
+}  // namespace xs::nn

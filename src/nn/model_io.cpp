@@ -1,0 +1,87 @@
+#include "nn/model_io.h"
+
+#include "nn/batchnorm.h"
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace xs::nn {
+namespace {
+
+void write_string(std::ostream& os, const std::string& s) {
+    const auto len = static_cast<std::uint32_t>(s.size());
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+    std::uint32_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!is || len > (1u << 20)) throw std::runtime_error("bad string in model file");
+    std::string s(len, '\0');
+    is.read(s.data(), len);
+    if (!is) throw std::runtime_error("truncated string in model file");
+    return s;
+}
+
+// Collect every named tensor in the model: parameters plus BN running stats.
+std::map<std::string, tensor::Tensor*> named_tensors(Sequential& model) {
+    std::map<std::string, tensor::Tensor*> out;
+    for (auto& np : model.named_params()) out[np.qualified_name] = &np.param->value;
+    model.for_each([&out](Layer& layer) {
+        if (auto* bn = dynamic_cast<BatchNorm2d*>(&layer)) {
+            out[layer.name() + ".running_mean"] = &bn->running_mean();
+            out[layer.name() + ".running_var"] = &bn->running_var();
+        }
+    });
+    return out;
+}
+
+}  // namespace
+
+void save_model(Sequential& model, const std::string& path) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("cannot open '" + path + "' for writing");
+    const auto tensors = named_tensors(model);
+    const auto count = static_cast<std::uint32_t>(tensors.size());
+    os.write("XSMD", 4);
+    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& [name, t] : tensors) {
+        write_string(os, name);
+        tensor::write_tensor(os, *t);
+    }
+    if (!os) throw std::runtime_error("failed writing model to '" + path + "'");
+}
+
+bool load_model(Sequential& model, const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return false;
+    char magic[4];
+    is.read(magic, 4);
+    if (!is || std::string(magic, 4) != "XSMD")
+        throw std::runtime_error("bad model magic in '" + path + "'");
+    std::uint32_t count = 0;
+    is.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+    auto tensors = named_tensors(model);
+    if (count != tensors.size())
+        throw std::runtime_error("model file '" + path + "' has " +
+                                 std::to_string(count) + " tensors, expected " +
+                                 std::to_string(tensors.size()));
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::string name = read_string(is);
+        tensor::Tensor t = tensor::read_tensor(is);
+        const auto it = tensors.find(name);
+        if (it == tensors.end())
+            throw std::runtime_error("unknown tensor '" + name + "' in '" + path + "'");
+        if (it->second->shape() != t.shape())
+            throw std::runtime_error("shape mismatch for '" + name + "' in '" + path + "'");
+        *it->second = std::move(t);
+    }
+    return true;
+}
+
+}  // namespace xs::nn

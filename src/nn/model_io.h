@@ -1,0 +1,17 @@
+// Model checkpointing: parameters + BatchNorm running statistics, keyed by
+// qualified name. Loading requires an architecturally identical model (the
+// benches rebuild from the same VggConfig and then restore).
+#pragma once
+
+#include "nn/sequential.h"
+
+#include <string>
+
+namespace xs::nn {
+
+void save_model(Sequential& model, const std::string& path);
+
+// Returns false if the file does not exist; throws on corrupt/mismatched data.
+bool load_model(Sequential& model, const std::string& path);
+
+}  // namespace xs::nn

@@ -1,0 +1,60 @@
+// Sequential model container with named layers and parameter enumeration.
+#pragma once
+
+#include "nn/layer.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xs::nn {
+
+class Sequential {
+public:
+    Sequential() = default;
+
+    // Non-copyable (layers own cached state), movable.
+    Sequential(const Sequential&) = delete;
+    Sequential& operator=(const Sequential&) = delete;
+    Sequential(Sequential&&) = default;
+    Sequential& operator=(Sequential&&) = default;
+
+    // Appends a layer; if `name` is empty a unique "<type><index>" is chosen.
+    Layer& add(LayerPtr layer, std::string name = "");
+
+    Tensor forward(const Tensor& x, bool training);
+    // Full backward through all layers; returns dL/dinput.
+    Tensor backward(const Tensor& dy);
+
+    void zero_grad();
+
+    std::size_t size() const { return layers_.size(); }
+    Layer& layer(std::size_t i) { return *layers_[i]; }
+    const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+    // Layer lookup by instance name; nullptr when absent.
+    Layer* find(const std::string& name);
+
+    // All trainable parameters with model-scoped names ("conv1.weight").
+    struct NamedParam {
+        std::string qualified_name;
+        Param* param;
+    };
+    std::vector<NamedParam> named_params();
+    std::vector<Param*> params();
+
+    std::int64_t param_count() const;
+
+    // Apply fn to every layer (e.g. to collect conv layers for mapping).
+    void for_each(const std::function<void(Layer&)>& fn);
+
+    std::string summary() const;
+
+private:
+    std::vector<LayerPtr> layers_;
+    std::map<std::string, Layer*> by_name_;
+};
+
+}  // namespace xs::nn

@@ -1,0 +1,68 @@
+#include "prune/mask.h"
+
+#include "tensor/ops.h"
+
+namespace xs::prune {
+
+using tensor::Tensor;
+
+void MaskSet::add(const std::string& qualified_param, Tensor mask) {
+    tensor::check(masks_.count(qualified_param) == 0,
+                  "MaskSet: duplicate mask for '" + qualified_param + "'");
+    masks_.emplace(qualified_param, std::move(mask));
+}
+
+const Tensor* MaskSet::find(const std::string& qualified_param) const {
+    const auto it = masks_.find(qualified_param);
+    return it == masks_.end() ? nullptr : &it->second;
+}
+
+void MaskSet::apply(nn::Sequential& model) const {
+    for (auto& np : model.named_params()) {
+        const auto it = masks_.find(np.qualified_name);
+        if (it == masks_.end()) continue;
+        tensor::check(it->second.same_shape(np.param->value),
+                      "MaskSet: mask/param shape mismatch for '" +
+                          np.qualified_name + "'");
+        tensor::mul_inplace(np.param->value, it->second);
+    }
+}
+
+nn::StepHook MaskSet::hook() const {
+    return [this](nn::Sequential& model) { apply(model); };
+}
+
+double MaskSet::sparsity() const {
+    std::int64_t total = 0, pruned = 0;
+    for (const auto& [name, mask] : masks_) {
+        total += mask.numel();
+        const float* p = mask.data();
+        for (std::int64_t i = 0; i < mask.numel(); ++i)
+            if (p[i] == 0.0f) ++pruned;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(pruned) / static_cast<double>(total);
+}
+
+MaskSet MaskSet::from_zeros(nn::Sequential& model) {
+    MaskSet set;
+    for (auto& np : model.named_params()) {
+        const Tensor& v = np.param->value;
+        bool any_zero = false;
+        const float* pv = v.data();
+        for (std::int64_t i = 0; i < v.numel(); ++i)
+            if (pv[i] == 0.0f) {
+                any_zero = true;
+                break;
+            }
+        if (!any_zero) continue;
+        Tensor mask(v.shape(), 1.0f);
+        float* pm = mask.data();
+        for (std::int64_t i = 0; i < v.numel(); ++i)
+            if (pv[i] == 0.0f) pm[i] = 0.0f;
+        set.add(np.qualified_name, std::move(mask));
+    }
+    return set;
+}
+
+}  // namespace xs::prune

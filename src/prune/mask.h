@@ -1,0 +1,45 @@
+// Binary keep/prune masks over model parameters. Masks are created once by
+// the pruners (prune.h) and re-applied after every optimizer step via the
+// trainer hook, implementing "structured pruning at initialization followed
+// by training" (paper §III).
+#pragma once
+
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+
+#include <map>
+#include <string>
+
+namespace xs::prune {
+
+class MaskSet {
+public:
+    // Register a mask for a qualified parameter name (e.g. "conv3.weight").
+    // Mask entries are 1 (keep) or 0 (prune); shape must match the parameter.
+    void add(const std::string& qualified_param, tensor::Tensor mask);
+
+    bool empty() const { return masks_.empty(); }
+    std::size_t size() const { return masks_.size(); }
+
+    const tensor::Tensor* find(const std::string& qualified_param) const;
+
+    // Zero out pruned entries of every masked parameter in `model`.
+    void apply(nn::Sequential& model) const;
+
+    // Trainer hook re-applying the masks (bind with std::ref semantics: the
+    // MaskSet must outlive the returned hook).
+    nn::StepHook hook() const;
+
+    // Fraction of masked-parameter entries that are pruned.
+    double sparsity() const;
+
+    // Reconstruct a mask set from a model whose weights already contain
+    // structural zeros (e.g. after loading a pruned checkpoint): every
+    // exactly-zero entry is treated as pruned.
+    static MaskSet from_zeros(nn::Sequential& model);
+
+private:
+    std::map<std::string, tensor::Tensor> masks_;
+};
+
+}  // namespace xs::prune

@@ -1,0 +1,287 @@
+#include "prune/prune.h"
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace xs::prune {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Layer;
+using nn::Linear;
+using tensor::check;
+using tensor::Tensor;
+
+std::string method_name(Method method) {
+    switch (method) {
+        case Method::kNone: return "unpruned";
+        case Method::kChannelFilter: return "cf";
+        case Method::kXbarColumn: return "xcs";
+        case Method::kXbarRow: return "xrs";
+        case Method::kUnstructured: return "unstructured";
+    }
+    return "?";
+}
+
+Method method_from_name(const std::string& name) {
+    if (name == "unpruned" || name == "none") return Method::kNone;
+    if (name == "cf") return Method::kChannelFilter;
+    if (name == "xcs") return Method::kXbarColumn;
+    if (name == "xrs") return Method::kXbarRow;
+    if (name == "unstructured") return Method::kUnstructured;
+    check(false, "unknown pruning method '" + name + "'");
+    return Method::kNone;
+}
+
+namespace {
+
+// Indices of the `keep` largest scores (ties broken by index for determinism).
+std::vector<bool> keep_top(const std::vector<double>& scores, std::int64_t keep) {
+    const auto n = static_cast<std::int64_t>(scores.size());
+    std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&scores](std::int64_t a, std::int64_t b) {
+                         return scores[static_cast<std::size_t>(a)] >
+                                scores[static_cast<std::size_t>(b)];
+                     });
+    std::vector<bool> kept(static_cast<std::size_t>(n), false);
+    for (std::int64_t i = 0; i < std::min(keep, n); ++i)
+        kept[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = true;
+    return kept;
+}
+
+std::int64_t keep_count(std::int64_t total, double sparsity) {
+    const auto keep =
+        static_cast<std::int64_t>(std::llround((1.0 - sparsity) * static_cast<double>(total)));
+    return std::max<std::int64_t>(keep, 1);
+}
+
+// ---- C/F pruning ----
+
+void prune_channel_filter(nn::Sequential& model, const PruneConfig& config,
+                          MaskSet& masks) {
+    // kept[c] for the channels feeding the *next* layer; starts all-true for
+    // the image input channels.
+    std::vector<bool> prev_kept;
+    bool first_conv = true;
+    std::int64_t prev_channels = -1;
+
+    for (std::size_t li = 0; li < model.size(); ++li) {
+        Layer& layer = model.layer(li);
+        if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+            const std::int64_t cout = conv->out_channels();
+            const std::int64_t cin = conv->in_channels();
+            const std::int64_t k = conv->kernel();
+            if (prev_kept.empty()) prev_kept.assign(static_cast<std::size_t>(cin), true);
+            check(static_cast<std::int64_t>(prev_kept.size()) == cin,
+                  "C/F pruning: channel bookkeeping mismatch at " + layer.name());
+
+            std::vector<bool> kept;
+            if (first_conv && config.spare_first_conv) {
+                kept.assign(static_cast<std::size_t>(cout), true);
+            } else {
+                std::vector<double> scores(static_cast<std::size_t>(cout), 0.0);
+                const std::int64_t per_filter = cin * k * k;
+                const float* w = conv->weight().value.data();
+                for (std::int64_t f = 0; f < cout; ++f) {
+                    double acc = 0.0;
+                    for (std::int64_t j = 0; j < per_filter; ++j) {
+                        const double x = w[f * per_filter + j];
+                        acc += x * x;
+                    }
+                    scores[static_cast<std::size_t>(f)] = acc;
+                }
+                kept = keep_top(scores, keep_count(cout, config.sparsity));
+            }
+            first_conv = false;
+
+            Tensor wmask({cout, cin, k, k}, 0.0f);
+            for (std::int64_t f = 0; f < cout; ++f) {
+                if (!kept[static_cast<std::size_t>(f)]) continue;
+                for (std::int64_t c = 0; c < cin; ++c) {
+                    if (!prev_kept[static_cast<std::size_t>(c)]) continue;
+                    for (std::int64_t a = 0; a < k; ++a)
+                        for (std::int64_t b = 0; b < k; ++b)
+                            wmask.at(f, c, a, b) = 1.0f;
+                }
+            }
+            masks.add(layer.name() + ".weight", std::move(wmask));
+            if (conv->has_bias()) {
+                Tensor bmask({cout}, 0.0f);
+                for (std::int64_t f = 0; f < cout; ++f)
+                    if (kept[static_cast<std::size_t>(f)]) bmask[f] = 1.0f;
+                masks.add(layer.name() + ".bias", std::move(bmask));
+            }
+            prev_kept = kept;
+            prev_channels = cout;
+        } else if (auto* bn = dynamic_cast<BatchNorm2d*>(&layer)) {
+            // Pruned channels must stay exactly zero through BN: zero the
+            // affine scale *and* shift of removed channels.
+            if (prev_channels != bn->channels()) continue;
+            Tensor gmask({bn->channels()}, 0.0f);
+            for (std::int64_t c = 0; c < bn->channels(); ++c)
+                if (prev_kept[static_cast<std::size_t>(c)]) gmask[c] = 1.0f;
+            Tensor bmask = gmask;
+            masks.add(layer.name() + ".gamma", std::move(gmask));
+            masks.add(layer.name() + ".beta", std::move(bmask));
+        } else if (auto* fc = dynamic_cast<Linear*>(&layer)) {
+            // Classifier: remove the input features of pruned channels (the
+            // paper's "rows of the weight matrix of the next DNN layer").
+            if (!config.prune_classifier_inputs || prev_kept.empty()) break;
+            const std::int64_t in = fc->in_features();
+            const std::int64_t out = fc->out_features();
+            const auto channels = static_cast<std::int64_t>(prev_kept.size());
+            check(in % channels == 0,
+                  "C/F pruning: classifier features not divisible by channels");
+            const std::int64_t spatial = in / channels;
+            Tensor wmask({out, in}, 0.0f);
+            for (std::int64_t o = 0; o < out; ++o)
+                for (std::int64_t j = 0; j < in; ++j)
+                    if (prev_kept[static_cast<std::size_t>(j / spatial)])
+                        wmask.at(o, j) = 1.0f;
+            masks.add(layer.name() + ".weight", std::move(wmask));
+            break;  // only the first FC touches conv feature maps
+        }
+    }
+}
+
+// ---- unstructured magnitude pruning ----
+
+// Element-wise baseline: per conv layer, zero the lowest-|w| fraction.
+void prune_unstructured(nn::Sequential& model, const PruneConfig& config,
+                        MaskSet& masks) {
+    bool first_conv = true;
+    for (std::size_t li = 0; li < model.size(); ++li) {
+        Layer& layer = model.layer(li);
+        auto* conv = dynamic_cast<Conv2d*>(&layer);
+        if (!conv) continue;
+        if (first_conv && config.spare_first_conv) {
+            first_conv = false;
+            continue;
+        }
+        first_conv = false;
+        const Tensor& w = conv->weight().value;
+        std::vector<double> scores(static_cast<std::size_t>(w.numel()));
+        for (std::int64_t i = 0; i < w.numel(); ++i)
+            scores[static_cast<std::size_t>(i)] = std::fabs(w[i]);
+        const auto kept = keep_top(scores, keep_count(w.numel(), config.sparsity));
+        Tensor mask(w.shape(), 0.0f);
+        for (std::int64_t i = 0; i < w.numel(); ++i)
+            if (kept[static_cast<std::size_t>(i)]) mask[i] = 1.0f;
+        masks.add(layer.name() + ".weight", std::move(mask));
+    }
+}
+
+// ---- XCS / XRS pruning ----
+
+// Prune (block, column) or (row, block) segments of each conv layer's MAC
+// matrix. The conv weight tensor is (Cout, Cin, k, k) = (cols, rows) of the
+// MAC matrix, i.e. matrix entry (r, c) = weight[c*rows + r] when flattened.
+void prune_segments(nn::Sequential& model, const PruneConfig& config,
+                    bool column_segments, MaskSet& masks) {
+    bool first_conv = true;
+    for (std::size_t li = 0; li < model.size(); ++li) {
+        Layer& layer = model.layer(li);
+        auto* conv = dynamic_cast<Conv2d*>(&layer);
+        if (!conv) continue;
+        const std::int64_t rows = conv->in_channels() * conv->kernel() * conv->kernel();
+        const std::int64_t cols = conv->out_channels();
+        if (first_conv && config.spare_first_conv) {
+            first_conv = false;
+            continue;
+        }
+        first_conv = false;
+
+        const std::int64_t seg = config.segment_size;
+        const float* w = conv->weight().value.data();  // (cols, rows) layout
+        Tensor mask(conv->weight().value.shape(), 1.0f);
+        float* pm = mask.data();
+
+        if (column_segments) {
+            // XCS: segments of `seg` consecutive rows within one column.
+            const std::int64_t blocks = (rows + seg - 1) / seg;
+            std::vector<double> scores(static_cast<std::size_t>(blocks * cols), 0.0);
+            for (std::int64_t c = 0; c < cols; ++c)
+                for (std::int64_t b = 0; b < blocks; ++b) {
+                    double acc = 0.0;
+                    const std::int64_t r1 = std::min(rows, (b + 1) * seg);
+                    for (std::int64_t r = b * seg; r < r1; ++r) {
+                        const double x = w[c * rows + r];
+                        acc += x * x;
+                    }
+                    scores[static_cast<std::size_t>(b * cols + c)] = acc;
+                }
+            const auto kept =
+                keep_top(scores, keep_count(blocks * cols, config.sparsity));
+            for (std::int64_t c = 0; c < cols; ++c)
+                for (std::int64_t b = 0; b < blocks; ++b) {
+                    if (kept[static_cast<std::size_t>(b * cols + c)]) continue;
+                    const std::int64_t r1 = std::min(rows, (b + 1) * seg);
+                    for (std::int64_t r = b * seg; r < r1; ++r)
+                        pm[c * rows + r] = 0.0f;
+                }
+        } else {
+            // XRS: segments of `seg` consecutive columns within one row.
+            const std::int64_t blocks = (cols + seg - 1) / seg;
+            std::vector<double> scores(static_cast<std::size_t>(blocks * rows), 0.0);
+            for (std::int64_t r = 0; r < rows; ++r)
+                for (std::int64_t b = 0; b < blocks; ++b) {
+                    double acc = 0.0;
+                    const std::int64_t c1 = std::min(cols, (b + 1) * seg);
+                    for (std::int64_t c = b * seg; c < c1; ++c) {
+                        const double x = w[c * rows + r];
+                        acc += x * x;
+                    }
+                    scores[static_cast<std::size_t>(b * rows + r)] = acc;
+                }
+            const auto kept =
+                keep_top(scores, keep_count(blocks * rows, config.sparsity));
+            for (std::int64_t r = 0; r < rows; ++r)
+                for (std::int64_t b = 0; b < blocks; ++b) {
+                    if (kept[static_cast<std::size_t>(b * rows + r)]) continue;
+                    const std::int64_t c1 = std::min(cols, (b + 1) * seg);
+                    for (std::int64_t c = b * seg; c < c1; ++c)
+                        pm[c * rows + r] = 0.0f;
+                }
+        }
+        masks.add(layer.name() + ".weight", std::move(mask));
+    }
+}
+
+}  // namespace
+
+MaskSet prune_at_init(nn::Sequential& model, const PruneConfig& config) {
+    check(config.sparsity >= 0.0 && config.sparsity < 1.0,
+          "prune_at_init: sparsity must be in [0, 1)");
+    check(config.segment_size > 0, "prune_at_init: segment_size must be positive");
+
+    MaskSet masks;
+    switch (config.method) {
+        case Method::kNone:
+            break;
+        case Method::kChannelFilter:
+            prune_channel_filter(model, config, masks);
+            break;
+        case Method::kXbarColumn:
+            prune_segments(model, config, /*column_segments=*/true, masks);
+            break;
+        case Method::kXbarRow:
+            prune_segments(model, config, /*column_segments=*/false, masks);
+            break;
+        case Method::kUnstructured:
+            prune_unstructured(model, config, masks);
+            break;
+    }
+    masks.apply(model);
+    return masks;
+}
+
+}  // namespace xs::prune

@@ -1,0 +1,51 @@
+// Crossbar-aware structured pruning at initialization (paper §II-B, §III).
+//
+// Three schemes:
+//  * C/F  — channel/filter pruning: whole conv filters are removed, together
+//           with the corresponding input channels of the next layer (and the
+//           BN scale/shift of removed channels);
+//  * XCS  — crossbar-column sparsity: within a layer's 2-D MAC matrix
+//           (rows = Cin·k·k inputs, cols = filters), segments of
+//           `segment_size` consecutive rows in one column are pruned;
+//  * XRS  — crossbar-row sparsity: segments of consecutive columns in one
+//           row are pruned.
+//
+// Scores are structure L2 norms of the freshly initialized weights (the
+// prune-at-init protocol of [Frankle et al.]); the lowest-scoring fraction
+// `sparsity` per layer is removed.
+#pragma once
+
+#include "nn/sequential.h"
+#include "prune/mask.h"
+
+#include <cstdint>
+#include <string>
+
+namespace xs::prune {
+
+enum class Method {
+    kNone,
+    kChannelFilter,  // C/F
+    kXbarColumn,     // XCS
+    kXbarRow,        // XRS
+    kUnstructured,   // element-wise magnitude baseline: same parameter
+                     // sparsity, but scattered zeros save no crossbars —
+                     // the contrast that motivates crossbar-aware pruning
+};
+
+std::string method_name(Method method);
+Method method_from_name(const std::string& name);
+
+struct PruneConfig {
+    Method method = Method::kChannelFilter;
+    double sparsity = 0.8;           // fraction pruned per layer
+    std::int64_t segment_size = 32;  // XCS/XRS segment granularity (crossbar dim)
+    bool spare_first_conv = true;    // common practice: keep the stem dense
+    bool prune_classifier_inputs = true;  // C/F: drop FC inputs of pruned channels
+};
+
+// Builds masks from the model's current (initialization) weights and applies
+// them once. Re-apply after every optimizer step via MaskSet::hook().
+MaskSet prune_at_init(nn::Sequential& model, const PruneConfig& config);
+
+}  // namespace xs::prune

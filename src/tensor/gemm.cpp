@@ -1,0 +1,103 @@
+#include "tensor/gemm.h"
+
+#include "tensor/ops.h"
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace xs::tensor {
+namespace {
+
+// Cache-blocking parameters tuned for small L2 caches; the inner kernel is a
+// simple ikj loop that the compiler auto-vectorizes over j.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockK = 256;
+
+void gemm_rows(std::int64_t m_lo, std::int64_t m_hi, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float beta, float* c,
+               std::int64_t ldc) {
+    for (std::int64_t i = m_lo; i < m_hi; ++i) {
+        float* ci = c + i * ldc;
+        if (beta == 0.0f) {
+            std::fill(ci, ci + n, 0.0f);
+        } else if (beta != 1.0f) {
+            for (std::int64_t j = 0; j < n; ++j) ci[j] *= beta;
+        }
+    }
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t k1 = std::min(k, k0 + kBlockK);
+        for (std::int64_t i = m_lo; i < m_hi; ++i) {
+            const float* ai = a + i * lda;
+            float* ci = c + i * ldc;
+            for (std::int64_t p = k0; p < k1; ++p) {
+                const float aip = alpha * ai[p];
+                if (aip == 0.0f) continue;
+                const float* bp = b + p * ldb;
+                for (std::int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void gemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const float* a, std::int64_t lda, const float* b,
+                 std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+    if (m <= 0 || n <= 0) return;
+    gemm_rows(0, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+          float beta, float* c, std::int64_t ldc) {
+    if (m <= 0 || n <= 0) return;
+    // Parallelize across row blocks when the problem is big enough to pay
+    // for the fork/join.
+    const std::int64_t blocks = (m + kBlockM - 1) / kBlockM;
+    const bool parallel = m * n * k > (1 << 18) && blocks > 1;
+    auto run_block = [&](std::size_t blk) {
+        const std::int64_t lo = static_cast<std::int64_t>(blk) * kBlockM;
+        const std::int64_t hi = std::min(m, lo + kBlockM);
+        gemm_rows(lo, hi, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    };
+    if (parallel) {
+        util::parallel_for(0, static_cast<std::size_t>(blocks), run_block);
+    } else {
+        gemm_rows(0, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+    check(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 tensors");
+    check(a.dim(1) == b.dim(0), "matmul: inner dimensions differ: " +
+                                    shape_to_string(a.shape()) + " x " +
+                                    shape_to_string(b.shape()));
+    Tensor c({a.dim(0), b.dim(1)});
+    gemm(a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), a.dim(1), b.data(),
+         b.dim(1), 0.0f, c.data(), c.dim(1));
+    return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+    // Aᵀ·B without materializing Aᵀ would need a column-major kernel; the
+    // transpose copy is cheap relative to the multiply at our sizes.
+    return matmul(transpose(a), b);
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+    return matmul(a, transpose(b));
+}
+
+void gemv(std::int64_t m, std::int64_t n, const float* a, const float* x, float* y) {
+    for (std::int64_t i = 0; i < m; ++i) {
+        const float* ai = a + i * n;
+        double acc = 0.0;
+        for (std::int64_t j = 0; j < n; ++j) acc += static_cast<double>(ai[j]) * x[j];
+        y[i] = static_cast<float>(acc);
+    }
+}
+
+}  // namespace xs::tensor

@@ -1,0 +1,30 @@
+// Blocked single-precision GEMM: C = alpha * op(A) * op(B) + beta * C.
+// This is the workhorse behind Conv2d (via im2col) and Linear layers.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace xs::tensor {
+
+// C(m×n) = alpha * A(m×k) * B(k×n) + beta * C. Raw-pointer core so that the
+// nn layers can call it on tensor slices without copies. May parallelize
+// across row blocks for large problems.
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+          float beta, float* c, std::int64_t ldc);
+
+// Strictly single-threaded variant for callers already running inside a
+// parallel_for region (nested pool dispatch is not supported).
+void gemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const float* a, std::int64_t lda, const float* b,
+                 std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+
+// Convenience wrappers on rank-2 tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);            // A·B
+Tensor matmul_tn(const Tensor& a, const Tensor& b);         // Aᵀ·B
+Tensor matmul_nt(const Tensor& a, const Tensor& b);         // A·Bᵀ
+
+// y(m) = A(m×n) · x(n)
+void gemv(std::int64_t m, std::int64_t n, const float* a, const float* x, float* y);
+
+}  // namespace xs::tensor

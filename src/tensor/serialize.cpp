@@ -1,0 +1,56 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace xs::tensor {
+namespace {
+
+constexpr char kMagic[4] = {'X', 'S', 'T', 'N'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!is) throw std::runtime_error("tensor stream truncated");
+    return v;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+    os.write(kMagic, 4);
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.rank()));
+    for (const auto d : t.shape()) write_pod<std::int64_t>(os, d);
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+    char magic[4];
+    is.read(magic, 4);
+    if (!is || magic[0] != 'X' || magic[1] != 'S' || magic[2] != 'T' ||
+        magic[3] != 'N')
+        throw std::runtime_error("bad tensor magic");
+    const auto rank = read_pod<std::uint32_t>(is);
+    if (rank > 8) throw std::runtime_error("implausible tensor rank");
+    Shape shape(rank);
+    for (auto& d : shape) {
+        d = read_pod<std::int64_t>(is);
+        if (d < 0 || d > (1LL << 32)) throw std::runtime_error("implausible dim");
+    }
+    Tensor t(shape);
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("tensor data truncated");
+    return t;
+}
+
+}  // namespace xs::tensor

@@ -1,0 +1,16 @@
+// Binary tensor (de)serialization — used for model checkpoints so that the
+// benchmark binaries can share trained models instead of retraining.
+//
+// Format: magic "XSTN", u32 rank, i64 dims..., f32 data (little-endian).
+#pragma once
+
+#include "tensor/tensor.h"
+
+#include <iosfwd>
+
+namespace xs::tensor {
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);  // throws std::runtime_error on corrupt input
+
+}  // namespace xs::tensor

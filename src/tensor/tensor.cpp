@@ -1,0 +1,66 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace xs::tensor {
+
+std::string shape_to_string(const Shape& shape) {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i) os << ", ";
+        os << shape[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+std::int64_t shape_numel(const Shape& shape) {
+    std::int64_t n = 1;
+    for (const auto d : shape) {
+        check(d >= 0, "negative dimension in shape " + shape_to_string(shape));
+        n *= d;
+    }
+    return n;
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> shape, float fill)
+    : Tensor(Shape(shape), fill) {}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+    check(shape_numel(new_shape) == numel(),
+          "reshape from " + shape_to_string(shape_) + " to " +
+              shape_to_string(new_shape) + " changes element count");
+    Tensor out = *this;
+    out.shape_ = std::move(new_shape);
+    return out;
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) {
+    return data_[static_cast<std::size_t>(
+        ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const {
+    return data_[static_cast<std::size_t>(
+        ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+}
+
+void Tensor::fill(float value) {
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace xs::tensor

@@ -1,0 +1,69 @@
+// Dense row-major float tensor. The whole library uses float32 storage with
+// double accumulation where it matters (reductions, circuit solves).
+//
+// Design notes:
+//  * value semantics — copies are explicit and cheap to reason about;
+//  * contiguous storage only (no views/strides); reshapes are metadata-only;
+//  * shape arithmetic is int64 to avoid overflow on element counting.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xs::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+std::string shape_to_string(const Shape& shape);
+std::int64_t shape_numel(const Shape& shape);
+
+class Tensor {
+public:
+    Tensor() = default;
+
+    explicit Tensor(Shape shape, float fill = 0.0f);
+    Tensor(std::initializer_list<std::int64_t> shape, float fill = 0.0f);
+
+    // ---- shape ----
+    const Shape& shape() const { return shape_; }
+    std::int64_t dim(std::size_t axis) const { return shape_.at(axis); }
+    std::size_t rank() const { return shape_.size(); }
+    std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+
+    // Metadata-only reshape; the element count must match.
+    Tensor reshaped(Shape new_shape) const;
+
+    // ---- element access ----
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+    float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+    float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+    // Multi-dimensional accessors for ranks 2–4 (hot paths index manually).
+    float& at(std::int64_t i, std::int64_t j);
+    float at(std::int64_t i, std::int64_t j) const;
+    float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l);
+    float at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const;
+
+    // ---- whole-tensor helpers ----
+    void fill(float value);
+    void zero() { fill(0.0f); }
+    bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+    std::vector<float>& storage() { return data_; }
+    const std::vector<float>& storage() const { return data_; }
+
+private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+// Throwing check used by the ops layer: library misuse, not recoverable state.
+inline void check(bool condition, const std::string& what) {
+    if (!condition) throw std::invalid_argument(what);
+}
+
+}  // namespace xs::tensor

@@ -1,0 +1,35 @@
+// Minimal command-line flag parser used by the benchmark and example
+// binaries: `--name=value` or `--name value`; `--flag` alone sets a bool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xs::util {
+
+class Flags {
+public:
+    Flags(int argc, char** argv);
+
+    bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+    std::string get_string(const std::string& name, const std::string& def) const;
+    std::int64_t get_int(const std::string& name, std::int64_t def) const;
+    double get_double(const std::string& name, double def) const;
+    bool get_bool(const std::string& name, bool def) const;
+
+    // Comma-separated list of integers, e.g. --sizes=16,32,64.
+    std::vector<std::int64_t> get_int_list(const std::string& name,
+                                           const std::vector<std::int64_t>& def) const;
+
+    // Positional (non-flag) arguments in order of appearance.
+    const std::vector<std::string>& positional() const { return positional_; }
+
+private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace xs::util

@@ -1,0 +1,38 @@
+// Lightweight leveled logging with a wall-clock stopwatch.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace xs::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+// Wall-clock stopwatch for coarse phase timing in trainers and benches.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace xs::util

@@ -1,0 +1,144 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xs::util {
+namespace {
+
+// Nested dispatch from inside a worker (or a second concurrent top-level
+// dispatch) is not supported by the single-slot pool; such calls run inline.
+thread_local bool tl_in_parallel_region = false;
+
+// A tiny persistent pool: workers wait on a condition variable for a chunked
+// task, execute their share, and signal completion. One pool per process.
+class Pool {
+public:
+    Pool() {
+        const unsigned hw = std::thread::hardware_concurrency();
+        const std::size_t n = hw > 1 ? hw : 1;
+        for (std::size_t t = 1; t < n; ++t)
+            workers_.emplace_back([this, t] { worker_loop(t); });
+        count_ = n;
+    }
+
+    ~Pool() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_) w.join();
+    }
+
+    std::size_t count() const { return count_; }
+
+    void run(std::size_t begin, std::size_t end,
+             const std::function<void(std::size_t, std::size_t)>& fn) {
+        const std::size_t total = end - begin;
+        if (total == 0) return;
+        const std::size_t parts = std::min(count_, total);
+        if (parts == 1 || tl_in_parallel_region) {
+            fn(begin, end);
+            return;
+        }
+        tl_in_parallel_region = true;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            task_ = &fn;
+            task_begin_ = begin;
+            task_end_ = end;
+            task_parts_ = parts;
+            next_part_ = 1;  // part 0 runs on the calling thread
+            pending_ = parts - 1;
+            ++generation_;
+        }
+        cv_.notify_all();
+        run_part(0, begin, end, parts, fn);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            done_cv_.wait(lock, [this] { return pending_ == 0; });
+            task_ = nullptr;
+        }
+        tl_in_parallel_region = false;
+    }
+
+private:
+    static void run_part(std::size_t part, std::size_t begin, std::size_t end,
+                         std::size_t parts,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+        const std::size_t total = end - begin;
+        const std::size_t chunk = (total + parts - 1) / parts;
+        const std::size_t lo = begin + part * chunk;
+        const std::size_t hi = std::min(end, lo + chunk);
+        if (lo < hi) fn(lo, hi);
+    }
+
+    void worker_loop(std::size_t) {
+        tl_in_parallel_region = true;  // workers never re-dispatch to the pool
+        std::uint64_t seen_generation = 0;
+        while (true) {
+            const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+            std::size_t part = 0, begin = 0, end = 0, parts = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [&] {
+                    return shutdown_ ||
+                           (task_ != nullptr && generation_ != seen_generation &&
+                            next_part_ < task_parts_);
+                });
+                if (shutdown_) return;
+                fn = task_;
+                part = next_part_++;
+                begin = task_begin_;
+                end = task_end_;
+                parts = task_parts_;
+                if (next_part_ >= task_parts_) seen_generation = generation_;
+            }
+            run_part(part, begin, end, parts, *fn);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--pending_ == 0) done_cv_.notify_all();
+            }
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::size_t count_ = 1;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
+    std::size_t task_begin_ = 0, task_end_ = 0, task_parts_ = 0, next_part_ = 0;
+    std::size_t pending_ = 0;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+};
+
+Pool& pool() {
+    static Pool p;
+    return p;
+}
+
+}  // namespace
+
+std::size_t worker_count() { return pool().count(); }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+    parallel_for_chunks(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+    pool().run(begin, end, fn);
+}
+
+}  // namespace xs::util

@@ -1,0 +1,25 @@
+// parallel_for: split [begin, end) into contiguous chunks across a small
+// persistent worker pool. Used by the GEMM and the crossbar tile pipeline.
+//
+// The grain is deliberately coarse — on the 2-core evaluation machines thread
+// startup would otherwise dominate the small kernels.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace xs::util {
+
+// Number of worker threads the pool was built with (>= 1).
+std::size_t worker_count();
+
+// Invoke fn(i) for every i in [begin, end). Blocks until complete.
+// fn must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+// Chunked variant: fn(chunk_begin, chunk_end) over a partition of the range.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace xs::util

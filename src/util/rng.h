@@ -1,0 +1,53 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic components in the library (weight init, dataset synthesis,
+// pruning-at-init scores, device variation) draw from xs::util::Rng so that a
+// single seed reproduces an entire experiment end to end.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace xs::util {
+
+// xoshiro256** by Blackman & Vigna — fast, high-quality, and trivially
+// seedable via splitmix64. Not cryptographic; fine for simulation.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    // Re-initialize the full state from a single 64-bit seed (splitmix64).
+    void reseed(std::uint64_t seed);
+
+    // Uniform 64-bit integer.
+    std::uint64_t next_u64();
+
+    // Uniform double in [0, 1).
+    double uniform();
+
+    // Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    // Uniform integer in [0, n) for n > 0.
+    std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+    // Standard normal via Box–Muller (cached second draw).
+    double normal();
+
+    // Normal with mean/stddev.
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+    // Fisher–Yates shuffle of indices [0, n).
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    // Derive an independent child stream; stable for a given (state, tag).
+    Rng split(std::uint64_t tag);
+
+private:
+    std::uint64_t s_[4] = {};
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace xs::util

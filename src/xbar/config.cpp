@@ -1,0 +1,28 @@
+#include "xbar/config.h"
+
+#include <sstream>
+
+namespace xs::xbar {
+
+ParasiticsConfig ParasiticsConfig::ideal() {
+    ParasiticsConfig p;
+    p.r_driver = 0.0;
+    p.r_wire_row = 0.0;
+    p.r_wire_col = 0.0;
+    p.r_sense = 0.0;
+    return p;
+}
+
+std::string CrossbarConfig::describe() const {
+    std::ostringstream os;
+    os << size << "x" << size << " crossbar, R_MIN=" << device.r_min / 1e3
+       << "k R_MAX=" << device.r_max / 1e3 << "k (ON/OFF "
+       << device.on_off_ratio() << "), Rdriver=" << parasitics.r_driver
+       << " Rwire_row=" << parasitics.r_wire_row
+       << " Rwire_col=" << parasitics.r_wire_col
+       << " Rsense=" << parasitics.r_sense
+       << " sigma=" << device.sigma_variation;
+    return os.str();
+}
+
+}  // namespace xs::xbar

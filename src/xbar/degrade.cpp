@@ -1,0 +1,61 @@
+#include "xbar/degrade.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xs::xbar {
+
+using tensor::Tensor;
+
+void apply_variation(Tensor& g, const DeviceConfig& device, util::Rng& rng) {
+    if (device.sigma_variation <= 0.0) return;
+    const float lo = static_cast<float>(device.g_min() * 0.5);
+    const float hi = static_cast<float>(device.g_max() * 2.0);
+    float* p = g.data();
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+        const double eps = rng.normal(0.0, device.sigma_variation);
+        p[i] = std::clamp(static_cast<float>(p[i] * (1.0 + eps)), lo, hi);
+    }
+}
+
+TileDegradeResult degrade_tile(const Tensor& g, const CrossbarConfig& config) {
+    const std::int64_t n = config.size;
+    tensor::check(g.rank() == 2 && g.dim(0) == n && g.dim(1) == n,
+                  "degrade_tile: conductance matrix shape mismatch");
+    const double v_nom = config.parasitics.v_nom;
+    const std::vector<double> v_in(static_cast<std::size_t>(n), v_nom);
+
+    const CircuitSolver solver(config);
+    const SolveResult sol = solver.solve(g, v_in);
+
+    TileDegradeResult result;
+    result.g_eff = Tensor({n, n});
+    const double inv_v = 1.0 / v_nom;
+    for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = 0; j < n; ++j) {
+            const double alpha =
+                (static_cast<double>(sol.v_row.at(i, j)) - sol.v_col.at(i, j)) * inv_v;
+            // Attenuation can only reduce the device's effective drive; tiny
+            // negative values from numerical round-off are clamped away.
+            result.g_eff.at(i, j) = static_cast<float>(
+                std::max(0.0, alpha) * static_cast<double>(g.at(i, j)));
+        }
+
+    const std::vector<double> ideal = solver.ideal_currents(g, v_in);
+    double nf_sum = 0.0;
+    std::int64_t nf_count = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+        const double ii = ideal[static_cast<std::size_t>(j)];
+        if (ii <= 0.0) continue;
+        nf_sum += (ii - sol.currents[static_cast<std::size_t>(j)]) / ii;
+        ++nf_count;
+    }
+    result.nf = nf_count ? nf_sum / static_cast<double>(nf_count) : 0.0;
+    return result;
+}
+
+double non_ideality_factor(const Tensor& g, const CrossbarConfig& config) {
+    return degrade_tile(g, config).nf;
+}
+
+}  // namespace xs::xbar

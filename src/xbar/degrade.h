@@ -1,0 +1,36 @@
+// Non-ideality injection for one crossbar tile: Gaussian device variation
+// plus the RxNN-style linearized parasitic model, and the non-ideality
+// factor (NF) metric of paper §II-A.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "xbar/config.h"
+#include "xbar/solver.h"
+
+namespace xs::xbar {
+
+// G ← G·(1+ε), ε ~ N(0, sigma_variation), clamped to [G_MIN/2, 2·G_MAX]
+// so extreme draws stay physical. No-op when sigma_variation == 0.
+void apply_variation(tensor::Tensor& g, const DeviceConfig& device,
+                     util::Rng& rng);
+
+struct TileDegradeResult {
+    tensor::Tensor g_eff;  // non-ideal conductances G′ (X×X)
+    double nf = 0.0;       // average NF over columns at the calibration input
+};
+
+// Fast-model calibration (DESIGN.md §2): solve the parasitic network once at
+// all-rows = v_nom, then fold each device's voltage-division ratio into an
+// equivalent conductance  G′_ij = G_ij · (V_row(i,j) − V_col(i,j)) / v_nom.
+// The resulting G′ reproduces the non-ideal column currents exactly at the
+// calibration input and captures the tile-composition coupling (tiles dense
+// in high conductances sag more).
+TileDegradeResult degrade_tile(const tensor::Tensor& g,
+                               const CrossbarConfig& config);
+
+// NF = (I_ideal − I_nonideal) / I_ideal at the all-v_nom input, averaged over
+// columns with nonzero ideal current.
+double non_ideality_factor(const tensor::Tensor& g, const CrossbarConfig& config);
+
+}  // namespace xs::xbar

@@ -1,0 +1,29 @@
+#include "xbar/faults.h"
+
+namespace xs::xbar {
+
+std::int64_t apply_stuck_faults(tensor::Tensor& g, const DeviceConfig& device,
+                                const FaultConfig& faults, util::Rng& rng) {
+    tensor::check(faults.p_stuck_min >= 0.0 && faults.p_stuck_max >= 0.0 &&
+                      faults.p_stuck_min + faults.p_stuck_max <= 1.0,
+                  "apply_stuck_faults: invalid fault probabilities");
+    if (!faults.any()) return 0;
+
+    const float g_min = static_cast<float>(device.g_min());
+    const float g_max = static_cast<float>(device.g_max());
+    std::int64_t faulted = 0;
+    float* p = g.data();
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+        const double u = rng.uniform();
+        if (u < faults.p_stuck_min) {
+            p[i] = g_min;
+            ++faulted;
+        } else if (u < faults.p_stuck_min + faults.p_stuck_max) {
+            p[i] = g_max;
+            ++faulted;
+        }
+    }
+    return faulted;
+}
+
+}  // namespace xs::xbar

@@ -1,0 +1,25 @@
+// Stuck-at-fault injection: a fraction of memristive devices cannot be
+// programmed and are stuck at the lowest (SA0, open-like) or highest (SA1,
+// short-like) conductance. Standard defect model for crossbar yield studies.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "xbar/config.h"
+
+namespace xs::xbar {
+
+struct FaultConfig {
+    double p_stuck_min = 0.0;  // probability a device is stuck at G_MIN (SA0)
+    double p_stuck_max = 0.0;  // probability a device is stuck at G_MAX (SA1)
+
+    bool any() const { return p_stuck_min > 0.0 || p_stuck_max > 0.0; }
+};
+
+// Overwrite randomly chosen entries with G_MIN / G_MAX per the fault rates.
+// Draws are independent per device; deterministic for a given rng state.
+// Returns the number of faulted devices.
+std::int64_t apply_stuck_faults(tensor::Tensor& g, const DeviceConfig& device,
+                                const FaultConfig& faults, util::Rng& rng);
+
+}  // namespace xs::xbar

@@ -1,0 +1,26 @@
+#include "xbar/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xs::xbar {
+
+double conductance_step(const DeviceConfig& device, std::int64_t levels) {
+    tensor::check(levels >= 2, "quantize_conductance: need at least 2 levels");
+    return (device.g_max() - device.g_min()) / static_cast<double>(levels - 1);
+}
+
+void quantize_conductance(tensor::Tensor& g, const DeviceConfig& device,
+                          std::int64_t levels) {
+    const double step = conductance_step(device, levels);
+    const double g_min = device.g_min();
+    const double g_max = device.g_max();
+    float* p = g.data();
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+        const double clamped = std::clamp(static_cast<double>(p[i]), g_min, g_max);
+        const double level = std::round((clamped - g_min) / step);
+        p[i] = static_cast<float>(g_min + level * step);
+    }
+}
+
+}  // namespace xs::xbar

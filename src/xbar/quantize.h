@@ -1,0 +1,26 @@
+// Write-precision modelling: real memristive devices can only be programmed
+// to a finite number of conductance levels. quantize_conductance() snaps a
+// conductance matrix onto a uniform grid of `levels` states between G_MIN
+// and G_MAX (inclusive), which is the standard "write quantization" model.
+//
+// (Read-side ADC quantization acts on per-input column currents and cannot
+// be folded into an equivalent weight matrix; it is out of scope for the
+// W′-folding pipeline — see DESIGN.md §2.)
+#pragma once
+
+#include "tensor/tensor.h"
+#include "xbar/config.h"
+
+#include <cstdint>
+
+namespace xs::xbar {
+
+// Snap every entry to the nearest of `levels` uniform conductance states.
+// levels must be ≥ 2; entries are clamped to [G_MIN, G_MAX] first.
+void quantize_conductance(tensor::Tensor& g, const DeviceConfig& device,
+                          std::int64_t levels);
+
+// The grid step for a given level count.
+double conductance_step(const DeviceConfig& device, std::int64_t levels);
+
+}  // namespace xs::xbar

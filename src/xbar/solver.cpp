@@ -1,0 +1,246 @@
+#include "xbar/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xs::xbar {
+
+using tensor::check;
+using tensor::Tensor;
+
+namespace {
+
+// A resistance of exactly zero means "ideal conductor"; represent it with a
+// huge-but-finite conductance to keep the linear algebra well posed.
+double safe_conductance(double resistance) {
+    return resistance <= 0.0 ? 1e9 : 1.0 / resistance;
+}
+
+// Thomas algorithm for a tridiagonal system; diag/lower/upper/rhs size n.
+// lower[k] couples unknown k to k-1; upper[k] couples k to k+1.
+void thomas_solve(std::vector<double>& diag, std::vector<double>& lower,
+                  std::vector<double>& upper, std::vector<double>& rhs,
+                  std::vector<double>& x) {
+    const std::size_t n = diag.size();
+    for (std::size_t k = 1; k < n; ++k) {
+        const double m = lower[k] / diag[k - 1];
+        diag[k] -= m * upper[k - 1];
+        rhs[k] -= m * rhs[k - 1];
+    }
+    x[n - 1] = rhs[n - 1] / diag[n - 1];
+    for (std::size_t k = n - 1; k-- > 0;)
+        x[k] = (rhs[k] - upper[k] * x[k + 1]) / diag[k];
+}
+
+}  // namespace
+
+CircuitSolver::CircuitSolver(const CrossbarConfig& config) : config_(config) {
+    g_driver_ = safe_conductance(config.parasitics.r_driver);
+    g_wire_row_ = safe_conductance(config.parasitics.r_wire_row);
+    g_wire_col_ = safe_conductance(config.parasitics.r_wire_col);
+    g_sense_ = safe_conductance(config.parasitics.r_sense);
+}
+
+std::vector<double> CircuitSolver::ideal_currents(
+    const Tensor& g, const std::vector<double>& v_in) const {
+    const std::int64_t n = config_.size;
+    check(g.rank() == 2 && g.dim(0) == n && g.dim(1) == n,
+          "CircuitSolver: conductance matrix shape mismatch");
+    check(static_cast<std::int64_t>(v_in.size()) == n,
+          "CircuitSolver: input voltage count mismatch");
+    std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* row = g.data() + i * n;
+        const double vi = v_in[static_cast<std::size_t>(i)];
+        for (std::int64_t j = 0; j < n; ++j)
+            out[static_cast<std::size_t>(j)] += static_cast<double>(row[j]) * vi;
+    }
+    return out;
+}
+
+SolveResult CircuitSolver::solve(const Tensor& g,
+                                 const std::vector<double>& v_in) const {
+    const std::int64_t n = config_.size;
+    check(g.rank() == 2 && g.dim(0) == n && g.dim(1) == n,
+          "CircuitSolver: conductance matrix shape mismatch");
+    check(static_cast<std::int64_t>(v_in.size()) == n,
+          "CircuitSolver: input voltage count mismatch");
+
+    SolveResult result;
+    result.v_row = Tensor({n, n});
+    result.v_col = Tensor({n, n});
+    // Initial guess: rows at their source voltage, columns at ground.
+    for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+            result.v_row.at(i, j) = static_cast<float>(v_in[static_cast<std::size_t>(i)]);
+
+    // Double-precision working copies (float storage would stall convergence).
+    std::vector<double> vr(static_cast<std::size_t>(n * n));
+    std::vector<double> vc(static_cast<std::size_t>(n * n), 0.0);
+    for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+            vr[static_cast<std::size_t>(i * n + j)] = v_in[static_cast<std::size_t>(i)];
+
+    std::vector<double> diag(static_cast<std::size_t>(n)),
+        lower(static_cast<std::size_t>(n)), upper(static_cast<std::size_t>(n)),
+        rhs(static_cast<std::size_t>(n)), x(static_cast<std::size_t>(n));
+
+    double max_delta = 0.0;
+    int sweep = 0;
+    for (; sweep < max_sweeps_; ++sweep) {
+        max_delta = 0.0;
+
+        // Row chains: unknowns V_r(i, 0..n-1) with V_c frozen.
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float* grow = g.data() + i * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+                const double gl = j == 0 ? g_driver_ : g_wire_row_;
+                const double gr = j + 1 < n ? g_wire_row_ : 0.0;
+                const double gd = grow[j];
+                const auto jj = static_cast<std::size_t>(j);
+                diag[jj] = gl + gr + gd;
+                lower[jj] = j == 0 ? 0.0 : -g_wire_row_;
+                upper[jj] = j + 1 < n ? -g_wire_row_ : 0.0;
+                rhs[jj] = gd * vc[static_cast<std::size_t>(i * n + j)] +
+                          (j == 0 ? gl * v_in[static_cast<std::size_t>(i)] : 0.0);
+            }
+            thomas_solve(diag, lower, upper, rhs, x);
+            for (std::int64_t j = 0; j < n; ++j) {
+                auto& v = vr[static_cast<std::size_t>(i * n + j)];
+                max_delta = std::max(max_delta, std::fabs(x[static_cast<std::size_t>(j)] - v));
+                v = x[static_cast<std::size_t>(j)];
+            }
+        }
+
+        // Column chains: unknowns V_c(0..n-1, j) with V_r frozen.
+        for (std::int64_t j = 0; j < n; ++j) {
+            for (std::int64_t i = 0; i < n; ++i) {
+                const double gu = i == 0 ? 0.0 : g_wire_col_;
+                const double gd = i + 1 < n ? g_wire_col_ : g_sense_;
+                const double gdev = g.at(i, j);
+                const auto ii = static_cast<std::size_t>(i);
+                diag[ii] = gu + gd + gdev;
+                lower[ii] = i == 0 ? 0.0 : -g_wire_col_;
+                upper[ii] = i + 1 < n ? -g_wire_col_ : 0.0;
+                // Bottom node's gd couples to ground (0 V): no rhs term.
+                rhs[ii] = gdev * vr[static_cast<std::size_t>(i * n + j)];
+            }
+            thomas_solve(diag, lower, upper, rhs, x);
+            for (std::int64_t i = 0; i < n; ++i) {
+                auto& v = vc[static_cast<std::size_t>(i * n + j)];
+                max_delta = std::max(max_delta, std::fabs(x[static_cast<std::size_t>(i)] - v));
+                v = x[static_cast<std::size_t>(i)];
+            }
+        }
+
+        if (max_delta < tolerance_) {
+            ++sweep;
+            break;
+        }
+    }
+
+    result.iterations = sweep;
+    result.max_delta = max_delta;
+    for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = 0; j < n; ++j) {
+            result.v_row.at(i, j) = static_cast<float>(vr[static_cast<std::size_t>(i * n + j)]);
+            result.v_col.at(i, j) = static_cast<float>(vc[static_cast<std::size_t>(i * n + j)]);
+        }
+    result.currents.resize(static_cast<std::size_t>(n));
+    for (std::int64_t j = 0; j < n; ++j)
+        result.currents[static_cast<std::size_t>(j)] =
+            vc[static_cast<std::size_t>((n - 1) * n + j)] * g_sense_;
+    return result;
+}
+
+SolveResult CircuitSolver::solve_dense(const Tensor& g,
+                                       const std::vector<double>& v_in) const {
+    const std::int64_t n = config_.size;
+    check(g.rank() == 2 && g.dim(0) == n && g.dim(1) == n,
+          "CircuitSolver: conductance matrix shape mismatch");
+    const std::int64_t unknowns = 2 * n * n;  // row nodes then column nodes
+
+    // Assemble the full nodal matrix A·v = b. Index r(i,j) = i*n+j,
+    // c(i,j) = n*n + i*n + j.
+    std::vector<double> a(static_cast<std::size_t>(unknowns * unknowns), 0.0);
+    std::vector<double> b(static_cast<std::size_t>(unknowns), 0.0);
+    auto A = [&](std::int64_t r, std::int64_t c) -> double& {
+        return a[static_cast<std::size_t>(r * unknowns + c)];
+    };
+    auto stamp = [&](std::int64_t u, std::int64_t v, double cond) {
+        // Conductance between unknowns u and v (v = -1 means ground).
+        A(u, u) += cond;
+        if (v >= 0) {
+            A(v, v) += cond;
+            A(u, v) -= cond;
+            A(v, u) -= cond;
+        }
+    };
+
+    for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            const std::int64_t r = i * n + j;
+            const std::int64_t c = n * n + i * n + j;
+            // device
+            stamp(r, c, g.at(i, j));
+            // row wire to the right neighbour
+            if (j + 1 < n) stamp(r, i * n + j + 1, g_wire_row_);
+            // driver into the first row node (source through Rdriver)
+            if (j == 0) {
+                A(r, r) += g_driver_;
+                b[static_cast<std::size_t>(r)] +=
+                    g_driver_ * v_in[static_cast<std::size_t>(i)];
+            }
+            // column wire down
+            if (i + 1 < n) stamp(c, n * n + (i + 1) * n + j, g_wire_col_);
+            // sense resistor to ground at the bottom
+            if (i == n - 1) A(c, c) += g_sense_;
+        }
+    }
+
+    // Gaussian elimination with partial pivoting.
+    for (std::int64_t k = 0; k < unknowns; ++k) {
+        std::int64_t pivot = k;
+        for (std::int64_t r = k + 1; r < unknowns; ++r)
+            if (std::fabs(A(r, k)) > std::fabs(A(pivot, k))) pivot = r;
+        if (pivot != k) {
+            for (std::int64_t cidx = 0; cidx < unknowns; ++cidx)
+                std::swap(A(k, cidx), A(pivot, cidx));
+            std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(pivot)]);
+        }
+        const double pk = A(k, k);
+        check(std::fabs(pk) > 1e-30, "solve_dense: singular nodal matrix");
+        for (std::int64_t r = k + 1; r < unknowns; ++r) {
+            const double m = A(r, k) / pk;
+            if (m == 0.0) continue;
+            for (std::int64_t cidx = k; cidx < unknowns; ++cidx)
+                A(r, cidx) -= m * A(k, cidx);
+            b[static_cast<std::size_t>(r)] -= m * b[static_cast<std::size_t>(k)];
+        }
+    }
+    std::vector<double> v(static_cast<std::size_t>(unknowns));
+    for (std::int64_t k = unknowns; k-- > 0;) {
+        double acc = b[static_cast<std::size_t>(k)];
+        for (std::int64_t cidx = k + 1; cidx < unknowns; ++cidx)
+            acc -= A(k, cidx) * v[static_cast<std::size_t>(cidx)];
+        v[static_cast<std::size_t>(k)] = acc / A(k, k);
+    }
+
+    SolveResult result;
+    result.v_row = Tensor({n, n});
+    result.v_col = Tensor({n, n});
+    for (std::int64_t i = 0; i < n; ++i)
+        for (std::int64_t j = 0; j < n; ++j) {
+            result.v_row.at(i, j) = static_cast<float>(v[static_cast<std::size_t>(i * n + j)]);
+            result.v_col.at(i, j) =
+                static_cast<float>(v[static_cast<std::size_t>(n * n + i * n + j)]);
+        }
+    result.currents.resize(static_cast<std::size_t>(n));
+    for (std::int64_t j = 0; j < n; ++j)
+        result.currents[static_cast<std::size_t>(j)] =
+            v[static_cast<std::size_t>(n * n + (n - 1) * n + j)] * g_sense_;
+    result.iterations = 1;
+    return result;
+}
+
+}  // namespace xs::xbar

@@ -1,0 +1,161 @@
+// End-to-end integration: train → prune → map → evaluate on tiny
+// configurations, exercising the full Fig. 2 pipeline the way the benchmark
+// harness does (just smaller and faster).
+#include "core/evaluator.h"
+#include "core/wct.h"
+#include "core/workspace.h"
+#include "data/synthetic.h"
+#include "map/compression.h"
+#include "nn/trainer.h"
+#include "nn/vgg.h"
+#include "prune/prune.h"
+#include "prune/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace xs::core {
+namespace {
+
+data::SyntheticSpec easy_data() {
+    data::SyntheticSpec spec = data::cifar10_like(5);
+    spec.class_jitter = 0.4f;  // easy so tiny models learn fast
+    spec.pixel_noise = 0.4f;
+    return spec;
+}
+
+nn::VggConfig tiny_vgg() {
+    nn::VggConfig vc;
+    vc.width = 0.0625;
+    return vc;
+}
+
+struct Trained {
+    nn::Sequential model;
+    prune::MaskSet masks;
+    double software = 0.0;
+};
+
+Trained train_tiny(prune::Method method, double sparsity) {
+    const auto tt = data::generate_split(easy_data(), 320, 160);
+    util::Rng rng(7);
+    Trained t{nn::build_vgg(tiny_vgg(), rng), {}, 0.0};
+    if (method != prune::Method::kNone) {
+        prune::PruneConfig pc;
+        pc.method = method;
+        pc.sparsity = sparsity;
+        pc.segment_size = 16;
+        t.masks = prune::prune_at_init(t.model, pc);
+    }
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.batch_size = 32;
+    nn::train(t.model, tt.train, nullptr, tc,
+              t.masks.empty() ? nn::StepHook{} : t.masks.hook());
+    t.software = nn::evaluate(t.model, tt.test);
+    return t;
+}
+
+TEST(Integration, TrainedTinyModelBeatsChance) {
+    const Trained t = train_tiny(prune::Method::kNone, 0.0);
+    EXPECT_GT(t.software, 40.0);  // 10 classes, chance = 10 %
+}
+
+TEST(Integration, PrunedTrainingKeepsStructuredSparsity) {
+    Trained t = train_tiny(prune::Method::kChannelFilter, 0.5);
+    EXPECT_GT(t.software, 35.0);
+    bool first = true;
+    std::int64_t total_zero_cols = 0;
+    for (const auto& s : prune::layer_sparsity(t.model)) {
+        if (!first && s.layer != "fc1") total_zero_cols += s.zero_cols;
+        first = false;
+    }
+    EXPECT_GT(total_zero_cols, 0);
+}
+
+TEST(Integration, NonIdealAccuracyBelowSoftware) {
+    Trained t = train_tiny(prune::Method::kNone, 0.0);
+    const auto tt = data::generate_split(easy_data(), 32, 160);
+    EvalConfig config;
+    config.xbar.size = 64;
+    const EvalResult r = evaluate_on_crossbars(t.model, tt.test, config);
+    EXPECT_LT(r.accuracy, t.software + 1e-9);
+    EXPECT_GT(r.nf_mean, 0.0);
+}
+
+TEST(Integration, RearrangementDoesNotBreakInference) {
+    Trained t = train_tiny(prune::Method::kChannelFilter, 0.5);
+    const auto tt = data::generate_split(easy_data(), 32, 160);
+    EvalConfig config;
+    config.xbar.size = 32;
+    config.method = prune::Method::kChannelFilter;
+    const EvalResult plain = evaluate_on_crossbars(t.model, tt.test, config);
+    config.rearrange = true;
+    const EvalResult with_r = evaluate_on_crossbars(t.model, tt.test, config);
+    // R must keep accuracy in a sane band (it is a mapping-time identity in
+    // the ideal limit) — typically it helps; never collapse to chance.
+    EXPECT_GT(with_r.accuracy, 0.5 * plain.accuracy - 5.0);
+}
+
+TEST(Integration, WctKeepsSoftwareAccuracyAndClipsWeights) {
+    Trained t = train_tiny(prune::Method::kChannelFilter, 0.5);
+    const auto tt = data::generate_split(easy_data(), 320, 160);
+
+    WctConfig wc;
+    wc.percentile = 0.85;
+    wc.finetune.epochs = 2;
+    const WctResult wr = apply_wct(t.model, tt.train, &tt.test, t.masks, wc);
+    const double after = nn::evaluate(t.model, tt.test);
+    EXPECT_GT(after, t.software - 15.0);  // near-iso on the easy task
+
+    // Weights respect the cut and w_ref ≥ w_cut.
+    for (const auto& [layer, cut] : wr.w_cut) {
+        EXPECT_GT(cut, 0.0);
+        EXPECT_GE(wr.w_ref.at(layer), cut);
+    }
+}
+
+TEST(Integration, CompressionRateAboveOneForCf) {
+    Trained t = train_tiny(prune::Method::kChannelFilter, 0.5);
+    const auto budget =
+        map::count_crossbars(t.model, prune::Method::kChannelFilter, 16);
+    EXPECT_GT(budget.compression_rate(), 1.2);
+}
+
+TEST(Integration, WorkspaceCachesModels) {
+    const std::string cache =
+        (std::filesystem::temp_directory_path() / "xs_ws_cache").string();
+    std::filesystem::remove_all(cache);
+
+    ModelSpec spec;
+    spec.vgg = tiny_vgg();
+    spec.data = easy_data();
+    spec.train_count = 160;
+    spec.test_count = 80;
+    spec.train.epochs = 1;
+    spec.train.batch_size = 32;
+    const auto tt = data::generate_split(spec.data, 160, 80);
+
+    const PreparedModel first = prepare_model(spec, tt.train, tt.test, cache, false);
+    EXPECT_FALSE(first.from_cache);
+    const PreparedModel second = prepare_model(spec, tt.train, tt.test, cache, false);
+    EXPECT_TRUE(second.from_cache);
+    EXPECT_NEAR(first.software_accuracy, second.software_accuracy, 1e-9);
+    std::filesystem::remove_all(cache);
+}
+
+TEST(Integration, SpecKeyDistinguishesVariants) {
+    ModelSpec a;
+    a.prune.method = prune::Method::kNone;
+    ModelSpec b = a;
+    b.prune.method = prune::Method::kChannelFilter;
+    b.prune.sparsity = 0.8;
+    ModelSpec c = b;
+    c.wct = true;
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_NE(b.key(), c.key());
+}
+
+}  // namespace
+}  // namespace xs::core

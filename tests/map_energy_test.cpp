@@ -1,0 +1,103 @@
+#include "map/energy.h"
+#include "nn/vgg.h"
+#include "prune/prune.h"
+
+#include <gtest/gtest.h>
+
+namespace xs::map {
+namespace {
+
+nn::Sequential tiny_model(std::uint64_t seed) {
+    nn::VggConfig vc;
+    vc.width = 0.0625;
+    util::Rng rng(seed);
+    return nn::build_vgg(vc, rng);
+}
+
+TEST(Energy, ReportTotalsMatchLayerSums) {
+    nn::Sequential model = tiny_model(1);
+    xbar::CrossbarConfig xc;
+    xc.size = 32;
+    const EnergyReport r =
+        estimate_energy(model, prune::Method::kNone, xc, EnergyConfig{});
+    double array = 0.0, periph = 0.0, area = 0.0;
+    std::int64_t tiles = 0;
+    for (const auto& l : r.layers) {
+        array += l.array_energy_pj;
+        periph += l.periph_energy_pj;
+        area += l.area_um2;
+        tiles += l.tiles;
+    }
+    EXPECT_NEAR(r.array_energy_pj, array, 1e-9);
+    EXPECT_NEAR(r.periph_energy_pj, periph, 1e-9);
+    EXPECT_NEAR(r.area_um2, area, 1e-9);
+    EXPECT_EQ(r.tiles, tiles);
+    EXPECT_GT(r.total_energy_pj(), 0.0);
+}
+
+TEST(Energy, PrunedModelUsesLessEnergyAndArea) {
+    nn::Sequential model = tiny_model(2);
+    prune::PruneConfig pc;
+    pc.method = prune::Method::kChannelFilter;
+    pc.sparsity = 0.6;
+    prune::prune_at_init(model, pc);
+
+    xbar::CrossbarConfig xc;
+    xc.size = 16;
+    const EnergyReport dense =
+        estimate_energy(model, prune::Method::kNone, xc, EnergyConfig{});
+    const EnergyReport compact =
+        estimate_energy(model, prune::Method::kChannelFilter, xc, EnergyConfig{});
+    EXPECT_LT(compact.tiles, dense.tiles);
+    EXPECT_LT(compact.total_energy_pj(), dense.total_energy_pj());
+    EXPECT_LT(compact.area_um2, dense.area_um2);
+}
+
+TEST(Energy, AreaScalesWithTileCount) {
+    nn::Sequential model = tiny_model(3);
+    xbar::CrossbarConfig xc;
+    xc.size = 32;
+    const EnergyConfig config;
+    const EnergyReport r =
+        estimate_energy(model, prune::Method::kNone, xc, config);
+    const double per_tile =
+        2.0 * 32 * 32 * config.cell_area_um2 +
+        2.0 * 32 * config.periph_area_um2_per_line;
+    EXPECT_NEAR(r.area_um2, per_tile * static_cast<double>(r.tiles), 1e-6);
+}
+
+TEST(Energy, LargerReadVoltageCostsQuadratically) {
+    nn::Sequential model = tiny_model(4);
+    xbar::CrossbarConfig xc;
+    xc.size = 16;
+    EnergyConfig low;
+    low.v_read = 0.1;
+    EnergyConfig high;
+    high.v_read = 0.2;
+    const double e_low =
+        estimate_energy(model, prune::Method::kNone, xc, low).array_energy_pj;
+    const double e_high =
+        estimate_energy(model, prune::Method::kNone, xc, high).array_energy_pj;
+    EXPECT_NEAR(e_high / e_low, 4.0, 1e-6);
+}
+
+TEST(Energy, XcsPackingReducesPeripheralEnergy) {
+    nn::Sequential model = tiny_model(5);
+    prune::PruneConfig pc;
+    pc.method = prune::Method::kXbarColumn;
+    pc.sparsity = 0.7;
+    pc.segment_size = 16;
+    prune::prune_at_init(model, pc);
+
+    xbar::CrossbarConfig xc;
+    xc.size = 16;
+    const EnergyReport packed =
+        estimate_energy(model, prune::Method::kXbarColumn, xc, EnergyConfig{});
+    const EnergyReport dense =
+        estimate_energy(model, prune::Method::kNone, xc, EnergyConfig{});
+    EXPECT_LT(packed.tiles, dense.tiles);
+    EXPECT_LT(packed.periph_energy_pj, dense.periph_energy_pj);
+}
+
+}  // namespace
+}  // namespace xs::map

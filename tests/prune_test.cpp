@@ -1,0 +1,284 @@
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/trainer.h"
+#include "nn/vgg.h"
+#include "prune/prune.h"
+#include "prune/stats.h"
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xs::prune {
+namespace {
+
+using nn::Sequential;
+using tensor::Tensor;
+
+nn::VggConfig tiny_vgg() {
+    nn::VggConfig config;
+    config.width = 0.25;
+    config.min_channels = 8;
+    return config;
+}
+
+TEST(MethodNames, RoundTrip) {
+    for (const Method m : {Method::kNone, Method::kChannelFilter,
+                           Method::kXbarColumn, Method::kXbarRow})
+        EXPECT_EQ(method_from_name(method_name(m)), m);
+    EXPECT_THROW(method_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(ChannelFilter, FilterCountsMatchSparsity) {
+    util::Rng rng(1);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.method = Method::kChannelFilter;
+    config.sparsity = 0.75;
+    prune_at_init(model, config);
+
+    bool first = true;
+    model.for_each([&](nn::Layer& layer) {
+        auto* conv = dynamic_cast<nn::Conv2d*>(&layer);
+        if (!conv) return;
+        // Count non-zero filters (matrix columns).
+        std::int64_t nonzero_filters = 0;
+        const std::int64_t per_filter =
+            conv->in_channels() * conv->kernel() * conv->kernel();
+        const float* w = conv->weight().value.data();
+        for (std::int64_t f = 0; f < conv->out_channels(); ++f) {
+            bool any = false;
+            for (std::int64_t j = 0; j < per_filter && !any; ++j)
+                any = w[f * per_filter + j] != 0.0f;
+            if (any) ++nonzero_filters;
+        }
+        if (first) {
+            EXPECT_EQ(nonzero_filters, conv->out_channels());  // spared stem
+            first = false;
+        } else {
+            const auto expected = std::max<std::int64_t>(
+                1, std::llround(0.25 * static_cast<double>(conv->out_channels())));
+            EXPECT_EQ(nonzero_filters, expected) << layer.name();
+        }
+    });
+}
+
+TEST(ChannelFilter, NextLayerChannelsZeroed) {
+    util::Rng rng(2);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.sparsity = 0.5;
+    prune_at_init(model, config);
+
+    // For each pruned filter f of convK, conv(K+1) input channel f is zero.
+    auto* conv2 = dynamic_cast<nn::Conv2d*>(model.find("conv2"));
+    auto* conv3 = dynamic_cast<nn::Conv2d*>(model.find("conv3"));
+    ASSERT_NE(conv2, nullptr);
+    ASSERT_NE(conv3, nullptr);
+    const std::int64_t per_filter2 =
+        conv2->in_channels() * conv2->kernel() * conv2->kernel();
+    for (std::int64_t f = 0; f < conv2->out_channels(); ++f) {
+        bool filter_zero = true;
+        for (std::int64_t j = 0; j < per_filter2 && filter_zero; ++j)
+            filter_zero = conv2->weight().value[f * per_filter2 + j] == 0.0f;
+        if (!filter_zero) continue;
+        // Channel f of conv3 must be entirely zero across all filters.
+        for (std::int64_t g = 0; g < conv3->out_channels(); ++g)
+            for (std::int64_t a = 0; a < 3; ++a)
+                for (std::int64_t b = 0; b < 3; ++b)
+                    EXPECT_EQ(conv3->weight().value.at(g, f, a, b), 0.0f);
+    }
+}
+
+TEST(ChannelFilter, BatchNormOfPrunedChannelsZeroed) {
+    util::Rng rng(3);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.sparsity = 0.5;
+    prune_at_init(model, config);
+
+    auto* conv2 = dynamic_cast<nn::Conv2d*>(model.find("conv2"));
+    auto* bn2 = dynamic_cast<nn::BatchNorm2d*>(model.find("bn2"));
+    ASSERT_NE(bn2, nullptr);
+    const std::int64_t per_filter =
+        conv2->in_channels() * conv2->kernel() * conv2->kernel();
+    for (std::int64_t f = 0; f < conv2->out_channels(); ++f) {
+        bool filter_zero = true;
+        for (std::int64_t j = 0; j < per_filter && filter_zero; ++j)
+            filter_zero = conv2->weight().value[f * per_filter + j] == 0.0f;
+        if (filter_zero) {
+            EXPECT_EQ(bn2->gamma().value[f], 0.0f);
+            EXPECT_EQ(bn2->beta().value[f], 0.0f);
+        } else {
+            EXPECT_NE(bn2->gamma().value[f], 0.0f);
+        }
+    }
+}
+
+TEST(ChannelFilter, ClassifierInputsPruned) {
+    util::Rng rng(4);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.sparsity = 0.5;
+    prune_at_init(model, config);
+
+    auto* fc = dynamic_cast<nn::Linear*>(model.find("fc1"));
+    ASSERT_NE(fc, nullptr);
+    std::int64_t zero_cols = 0;
+    for (std::int64_t j = 0; j < fc->in_features(); ++j) {
+        bool all_zero = true;
+        for (std::int64_t o = 0; o < fc->out_features() && all_zero; ++o)
+            all_zero = fc->weight().value.at(o, j) == 0.0f;
+        if (all_zero) ++zero_cols;
+    }
+    EXPECT_GT(zero_cols, 0);
+}
+
+TEST(ChannelFilter, PrunedChannelsProduceZeroActivations) {
+    // The end-to-end guarantee: a pruned channel's activation map is zero.
+    util::Rng rng(5);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.sparsity = 0.5;
+    prune_at_init(model, config);
+
+    Tensor x({1, 3, 32, 32});
+    tensor::fill_normal(x, rng, 0.0f, 1.0f);
+    // Forward through conv1..bn2 only: run layers until bn2 inclusive.
+    Tensor h = x;
+    for (std::size_t i = 0; i < model.size(); ++i) {
+        h = model.layer(i).forward(h, false);
+        if (model.layer(i).name() == "bn2") break;
+    }
+    auto* conv2 = dynamic_cast<nn::Conv2d*>(model.find("conv2"));
+    const std::int64_t per_filter =
+        conv2->in_channels() * conv2->kernel() * conv2->kernel();
+    const std::int64_t hw = h.dim(2) * h.dim(3);
+    for (std::int64_t f = 0; f < conv2->out_channels(); ++f) {
+        bool filter_zero = true;
+        for (std::int64_t j = 0; j < per_filter && filter_zero; ++j)
+            filter_zero = conv2->weight().value[f * per_filter + j] == 0.0f;
+        if (!filter_zero) continue;
+        for (std::int64_t q = 0; q < hw; ++q)
+            EXPECT_EQ(h[f * hw + q], 0.0f);
+    }
+}
+
+TEST(Xcs, SegmentSparsityMatches) {
+    util::Rng rng(6);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.method = Method::kXbarColumn;
+    config.sparsity = 0.6;
+    config.segment_size = 16;
+    const MaskSet masks = prune_at_init(model, config);
+
+    auto* conv3 = dynamic_cast<nn::Conv2d*>(model.find("conv3"));
+    const std::int64_t rows =
+        conv3->in_channels() * conv3->kernel() * conv3->kernel();
+    const std::int64_t cols = conv3->out_channels();
+    const std::int64_t blocks = (rows + 15) / 16;
+    std::int64_t zero_segments = 0;
+    for (std::int64_t c = 0; c < cols; ++c)
+        for (std::int64_t b = 0; b < blocks; ++b) {
+            bool all_zero = true;
+            const std::int64_t r1 = std::min(rows, (b + 1) * 16);
+            for (std::int64_t r = b * 16; r < r1 && all_zero; ++r)
+                all_zero = conv3->weight().value[c * rows + r] == 0.0f;
+            if (all_zero) ++zero_segments;
+        }
+    const std::int64_t total = blocks * cols;
+    const auto expected_kept = std::max<std::int64_t>(
+        1, std::llround(0.4 * static_cast<double>(total)));
+    EXPECT_EQ(total - zero_segments, expected_kept);
+}
+
+TEST(Xrs, RowSegmentsPruned) {
+    util::Rng rng(7);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.method = Method::kXbarRow;
+    config.sparsity = 0.5;
+    config.segment_size = 8;
+    prune_at_init(model, config);
+    // Element sparsity of conv layers (except spared stem) ≈ 0.5.
+    const auto stats = layer_sparsity(model);
+    for (std::size_t i = 1; i + 1 < stats.size(); ++i)
+        EXPECT_NEAR(stats[i].element_sparsity(), 0.5, 0.1) << stats[i].layer;
+}
+
+TEST(MaskSet, HookKeepsMasksDuringTraining) {
+    util::Rng rng(8);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.sparsity = 0.5;
+    const MaskSet masks = prune_at_init(model, config);
+    const double before = model_sparsity(model);
+
+    // One training epoch on random data with the mask hook.
+    nn::Dataset data;
+    data.num_classes = 10;
+    data.images = Tensor({32, 3, 32, 32});
+    tensor::fill_normal(data.images, rng, 0.0f, 1.0f);
+    data.labels.assign(32, 0);
+    for (std::size_t i = 0; i < 32; ++i)
+        data.labels[i] = static_cast<std::int64_t>(i % 10);
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 16;
+    nn::train(model, data, nullptr, tc, masks.hook());
+
+    EXPECT_NEAR(model_sparsity(model), before, 1e-9);
+}
+
+TEST(MaskSet, FromZerosReconstructsMasks) {
+    util::Rng rng(9);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.sparsity = 0.5;
+    const MaskSet original = prune_at_init(model, config);
+
+    const MaskSet rebuilt = MaskSet::from_zeros(model);
+    // Applying the rebuilt masks changes nothing (zeros stay zero) and its
+    // sparsity matches the real element sparsity.
+    const double sparsity_before = model_sparsity(model);
+    rebuilt.apply(model);
+    EXPECT_NEAR(model_sparsity(model), sparsity_before, 1e-12);
+}
+
+TEST(MaskSet, SparsityAccounting) {
+    MaskSet set;
+    Tensor m({4}, 1.0f);
+    m[0] = 0.0f;
+    set.add("x", m);
+    EXPECT_NEAR(set.sparsity(), 0.25, 1e-12);
+}
+
+TEST(MaskSet, DuplicateAddThrows) {
+    MaskSet set;
+    set.add("x", Tensor({2}, 1.0f));
+    EXPECT_THROW(set.add("x", Tensor({2}, 1.0f)), std::invalid_argument);
+}
+
+TEST(PruneConfig, InvalidSparsityThrows) {
+    util::Rng rng(10);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    PruneConfig config;
+    config.sparsity = 1.0;
+    EXPECT_THROW(prune_at_init(model, config), std::invalid_argument);
+}
+
+TEST(Stats, UnprunedModelHasNoZeroStructures) {
+    util::Rng rng(11);
+    Sequential model = nn::build_vgg(tiny_vgg(), rng);
+    for (const auto& s : layer_sparsity(model)) {
+        EXPECT_EQ(s.zero_cols, 0) << s.layer;
+        EXPECT_EQ(s.zero_rows, 0) << s.layer;
+        EXPECT_LT(s.element_sparsity(), 0.01) << s.layer;
+    }
+}
+
+}  // namespace
+}  // namespace xs::prune

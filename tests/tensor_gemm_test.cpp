@@ -1,0 +1,120 @@
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace xs::tensor {
+namespace {
+
+// Naive triple-loop reference.
+Tensor ref_matmul(const Tensor& a, const Tensor& b) {
+    const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::int64_t p = 0; p < k; ++p)
+                acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+            c.at(i, j) = static_cast<float>(acc);
+        }
+    return c;
+}
+
+class GemmSizes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, MatchesReference) {
+    const auto [m, n, k] = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(m * 10007 + n * 101 + k));
+    Tensor a({m, k}), b({k, n});
+    fill_normal(a, rng, 0.0f, 1.0f);
+    fill_normal(b, rng, 0.0f, 1.0f);
+    const Tensor c = matmul(a, b);
+    const Tensor r = ref_matmul(a, b);
+    EXPECT_TRUE(allclose(c, r, 1e-3f, 1e-3f))
+        << "max diff " << max_abs_diff(c, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(16, 16, 16), std::make_tuple(65, 33, 129),
+                      std::make_tuple(128, 64, 256), std::make_tuple(1, 100, 50),
+                      std::make_tuple(100, 1, 50), std::make_tuple(70, 70, 1)));
+
+TEST(Gemm, AlphaBeta) {
+    util::Rng rng(3);
+    Tensor a({4, 5}), b({5, 6}), c0({4, 6});
+    fill_normal(a, rng, 0.0f, 1.0f);
+    fill_normal(b, rng, 0.0f, 1.0f);
+    fill_normal(c0, rng, 0.0f, 1.0f);
+
+    Tensor c = c0;
+    gemm(4, 6, 5, 2.0f, a.data(), 5, b.data(), 6, 0.5f, c.data(), 6);
+
+    const Tensor ab = ref_matmul(a, b);
+    for (std::int64_t i = 0; i < 24; ++i)
+        EXPECT_NEAR(c[i], 2.0f * ab[i] + 0.5f * c0[i], 1e-4f);
+}
+
+TEST(Gemm, BetaOneAccumulates) {
+    util::Rng rng(5);
+    Tensor a({3, 3}), b({3, 3});
+    fill_normal(a, rng, 0.0f, 1.0f);
+    fill_normal(b, rng, 0.0f, 1.0f);
+    Tensor c({3, 3}, 1.0f);
+    gemm(3, 3, 3, 1.0f, a.data(), 3, b.data(), 3, 1.0f, c.data(), 3);
+    const Tensor ab = ref_matmul(a, b);
+    for (std::int64_t i = 0; i < 9; ++i) EXPECT_NEAR(c[i], ab[i] + 1.0f, 1e-4f);
+}
+
+TEST(Gemm, SerialMatchesParallel) {
+    util::Rng rng(7);
+    Tensor a({150, 90}), b({90, 110});
+    fill_normal(a, rng, 0.0f, 1.0f);
+    fill_normal(b, rng, 0.0f, 1.0f);
+    Tensor c1({150, 110}), c2({150, 110});
+    gemm(150, 110, 90, 1.0f, a.data(), 90, b.data(), 110, 0.0f, c1.data(), 110);
+    gemm_serial(150, 110, 90, 1.0f, a.data(), 90, b.data(), 110, 0.0f, c2.data(),
+                110);
+    EXPECT_TRUE(allclose(c1, c2, 0.0f, 0.0f));
+}
+
+TEST(Gemm, MatmulTnNt) {
+    util::Rng rng(9);
+    Tensor a({6, 4}), b({6, 5});
+    fill_normal(a, rng, 0.0f, 1.0f);
+    fill_normal(b, rng, 0.0f, 1.0f);
+    // Aᵀ·B == ref(transpose(A), B)
+    EXPECT_TRUE(allclose(matmul_tn(a, b), ref_matmul(transpose(a), b), 1e-4f, 1e-4f));
+    Tensor c({5, 4});  // A·Cᵀ: (6,4)·(4,5)
+    fill_normal(c, rng, 0.0f, 1.0f);
+    EXPECT_TRUE(allclose(matmul_nt(a, c), ref_matmul(a, transpose(c)), 1e-4f, 1e-4f));
+}
+
+TEST(Gemm, InnerDimMismatchThrows) {
+    Tensor a({2, 3}), b({4, 2});
+    EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Gemv, MatchesMatmul) {
+    util::Rng rng(11);
+    Tensor a({7, 9}), x({9, 1});
+    fill_normal(a, rng, 0.0f, 1.0f);
+    fill_normal(x, rng, 0.0f, 1.0f);
+    std::vector<float> y(7);
+    gemv(7, 9, a.data(), x.data(), y.data());
+    const Tensor r = matmul(a, x);
+    for (int i = 0; i < 7; ++i) EXPECT_NEAR(y[static_cast<std::size_t>(i)], r[i], 1e-4f);
+}
+
+TEST(Gemm, ZeroInnerDimension) {
+    // k = 0 with beta=0 must produce zeros, not read from B.
+    Tensor c({2, 2}, 5.0f);
+    gemm(2, 2, 0, 1.0f, nullptr, 1, nullptr, 1, 0.0f, c.data(), 2);
+    for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace xs::tensor

@@ -1,0 +1,125 @@
+#include "util/csv.h"
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace xs::util {
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    storage.insert(storage.begin(), "prog");
+    std::vector<char*> argv;
+    for (auto& s : storage) argv.push_back(s.data());
+    return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+    const Flags f = make_flags({"--alpha=3", "--name=hello"});
+    EXPECT_EQ(f.get_int("alpha", 0), 3);
+    EXPECT_EQ(f.get_string("name", ""), "hello");
+}
+
+TEST(Flags, SpaceForm) {
+    const Flags f = make_flags({"--alpha", "42"});
+    EXPECT_EQ(f.get_int("alpha", 0), 42);
+}
+
+TEST(Flags, BareFlagIsTrue) {
+    const Flags f = make_flags({"--verbose"});
+    EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+    const Flags f = make_flags({});
+    EXPECT_EQ(f.get_int("missing", 9), 9);
+    EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+    EXPECT_FALSE(f.get_bool("missing", false));
+    EXPECT_EQ(f.get_string("missing", "d"), "d");
+}
+
+TEST(Flags, DoubleParsing) {
+    const Flags f = make_flags({"--rate=0.125"});
+    EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 0.125);
+}
+
+TEST(Flags, IntList) {
+    const Flags f = make_flags({"--sizes=16,32,64"});
+    const auto v = f.get_int_list("sizes", {});
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 16);
+    EXPECT_EQ(v[1], 32);
+    EXPECT_EQ(v[2], 64);
+}
+
+TEST(Flags, IntListDefault) {
+    const Flags f = make_flags({});
+    const auto v = f.get_int_list("sizes", {8});
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 8);
+}
+
+TEST(Flags, Positional) {
+    const Flags f = make_flags({"input.txt", "--x=1", "more"});
+    ASSERT_EQ(f.positional().size(), 2u);
+    EXPECT_EQ(f.positional()[0], "input.txt");
+    EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(Flags, BoolExplicitValues) {
+    const Flags f = make_flags({"--a=true", "--b=false", "--c=1", "--d=no"});
+    EXPECT_TRUE(f.get_bool("a", false));
+    EXPECT_FALSE(f.get_bool("b", true));
+    EXPECT_TRUE(f.get_bool("c", false));
+    EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+    const std::string path = testing::TempDir() + "/xs_csv_test.csv";
+    {
+        CsvWriter csv(path, {"a", "b", "c"});
+        csv.row(1, 2.5, "x");
+        csv.row("q", 7, 8);
+        EXPECT_TRUE(csv.ok());
+    }
+    std::ifstream is(path);
+    std::string line;
+    std::getline(is, line);
+    EXPECT_EQ(line, "a,b,c");
+    std::getline(is, line);
+    EXPECT_EQ(line, "1,2.5,x");
+    std::getline(is, line);
+    EXPECT_EQ(line, "q,7,8");
+    std::remove(path.c_str());
+}
+
+TEST(TextTable, AlignsColumns) {
+    TextTable t({"col", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("col"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+    TextTable t({"a", "b", "c"});
+    t.add_row({"only"});
+    EXPECT_NO_THROW(t.str());
+}
+
+TEST(Fmt, FixedPrecision) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 1), "2.0");
+    EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace xs::util

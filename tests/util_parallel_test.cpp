@@ -1,0 +1,74 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace xs::util {
+namespace {
+
+TEST(Parallel, CoversRangeExactlyOnce) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+    std::atomic<int> count{0};
+    parallel_for(5, 5, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 0);
+}
+
+TEST(Parallel, SingleElement) {
+    std::atomic<int> count{0};
+    parallel_for(3, 4, [&](std::size_t i) {
+        EXPECT_EQ(i, 3u);
+        count++;
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Parallel, ChunksPartitionRange) {
+    std::vector<std::atomic<int>> hits(777);
+    parallel_for_chunks(0, 777, [&](std::size_t lo, std::size_t hi) {
+        EXPECT_LE(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, NestedCallsRunInline) {
+    std::atomic<int> total{0};
+    parallel_for(0, 4, [&](std::size_t) {
+        // A nested dispatch must not deadlock; it runs inline.
+        parallel_for(0, 10, [&](std::size_t) { total++; });
+    });
+    EXPECT_EQ(total.load(), 40);
+}
+
+TEST(Parallel, RepeatedDispatches) {
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<long> sum{0};
+        parallel_for(0, 100, [&](std::size_t i) {
+            sum += static_cast<long>(i);
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(Parallel, WorkerCountPositive) {
+    EXPECT_GE(worker_count(), 1u);
+}
+
+TEST(Parallel, LargeRangeSum) {
+    const std::size_t n = 100000;
+    std::vector<long> partial(n);
+    parallel_for(0, n, [&](std::size_t i) { partial[i] = static_cast<long>(i); });
+    const long sum = std::accumulate(partial.begin(), partial.end(), 0L);
+    EXPECT_EQ(sum, static_cast<long>(n * (n - 1) / 2));
+}
+
+}  // namespace
+}  // namespace xs::util

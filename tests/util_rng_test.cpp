@@ -1,0 +1,123 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace xs::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u64() == b.next_u64()) ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.5, 2.25);
+        EXPECT_GE(u, -3.5);
+        EXPECT_LT(u, 2.25);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, PermutationIsValid) {
+    Rng rng(19);
+    const auto perm = rng.permutation(257);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 257u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, PermutationShuffles) {
+    Rng rng(23);
+    const auto perm = rng.permutation(100);
+    std::size_t fixed = 0;
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        if (perm[i] == i) ++fixed;
+    EXPECT_LT(fixed, 10u);  // expected ~1 fixed point
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+    Rng parent(31);
+    Rng a = parent.split(1);
+    Rng b = parent.split(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u64() == b.next_u64()) ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+    Rng p1(37), p2(37);
+    Rng a = p1.split(5), b = p2.split(5);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformIndexInRange) {
+    Rng rng(41);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(Rng, ReseedResetsSequence) {
+    Rng rng(43);
+    const auto first = rng.next_u64();
+    rng.next_u64();
+    rng.reseed(43);
+    EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace xs::util

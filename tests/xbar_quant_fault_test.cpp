@@ -1,0 +1,148 @@
+#include "tensor/ops.h"
+#include "xbar/faults.h"
+#include "xbar/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace xs::xbar {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Quantize, EndpointsArePreserved) {
+    DeviceConfig dev;
+    Tensor g({2});
+    g[0] = static_cast<float>(dev.g_min());
+    g[1] = static_cast<float>(dev.g_max());
+    quantize_conductance(g, dev, 16);
+    EXPECT_FLOAT_EQ(g[0], static_cast<float>(dev.g_min()));
+    EXPECT_FLOAT_EQ(g[1], static_cast<float>(dev.g_max()));
+}
+
+TEST(Quantize, ProducesAtMostLevelsDistinctValues) {
+    DeviceConfig dev;
+    util::Rng rng(1);
+    Tensor g({1000});
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(rng.uniform(dev.g_min(), dev.g_max()));
+    quantize_conductance(g, dev, 8);
+    std::set<float> values(g.data(), g.data() + g.numel());
+    EXPECT_LE(values.size(), 8u);
+    EXPECT_GE(values.size(), 6u);  // the draw should hit most levels
+}
+
+TEST(Quantize, IsIdempotent) {
+    DeviceConfig dev;
+    util::Rng rng(2);
+    Tensor g({100});
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(rng.uniform(dev.g_min(), dev.g_max()));
+    quantize_conductance(g, dev, 16);
+    Tensor again = g;
+    quantize_conductance(again, dev, 16);
+    EXPECT_TRUE(tensor::allclose(again, g, 0.0f, 0.0f));
+}
+
+TEST(Quantize, ErrorBoundedByHalfStep) {
+    DeviceConfig dev;
+    util::Rng rng(3);
+    const std::int64_t levels = 32;
+    const double step = conductance_step(dev, levels);
+    Tensor g({500});
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(rng.uniform(dev.g_min(), dev.g_max()));
+    const Tensor before = g;
+    quantize_conductance(g, dev, levels);
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        EXPECT_LE(std::fabs(g[i] - before[i]), step / 2.0 + 1e-12);
+}
+
+TEST(Quantize, ClampsOutOfRange) {
+    DeviceConfig dev;
+    Tensor g({2});
+    g[0] = 0.0f;
+    g[1] = 1.0f;  // way above g_max
+    quantize_conductance(g, dev, 4);
+    EXPECT_FLOAT_EQ(g[0], static_cast<float>(dev.g_min()));
+    EXPECT_FLOAT_EQ(g[1], static_cast<float>(dev.g_max()));
+}
+
+TEST(Quantize, TooFewLevelsThrows) {
+    DeviceConfig dev;
+    Tensor g({4}, 1e-5f);
+    EXPECT_THROW(quantize_conductance(g, dev, 1), std::invalid_argument);
+}
+
+TEST(Quantize, MonotonePreserving) {
+    DeviceConfig dev;
+    Tensor g({3});
+    g[0] = 6e-6f;
+    g[1] = 20e-6f;
+    g[2] = 45e-6f;
+    quantize_conductance(g, dev, 16);
+    EXPECT_LE(g[0], g[1]);
+    EXPECT_LE(g[1], g[2]);
+}
+
+TEST(Faults, NoFaultsIsNoop) {
+    DeviceConfig dev;
+    util::Rng rng(4);
+    Tensor g({64}, 20e-6f);
+    const Tensor before = g;
+    FaultConfig faults;  // both rates zero
+    EXPECT_EQ(apply_stuck_faults(g, dev, faults, rng), 0);
+    EXPECT_TRUE(tensor::allclose(g, before, 0.0f, 0.0f));
+}
+
+TEST(Faults, RatesApproximatelyRespected) {
+    DeviceConfig dev;
+    util::Rng rng(5);
+    Tensor g({100, 100}, 20e-6f);
+    FaultConfig faults;
+    faults.p_stuck_min = 0.05;
+    faults.p_stuck_max = 0.02;
+    const std::int64_t faulted = apply_stuck_faults(g, dev, faults, rng);
+    EXPECT_NEAR(static_cast<double>(faulted) / 1e4, 0.07, 0.01);
+
+    std::int64_t at_min = 0, at_max = 0;
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+        if (g[i] == static_cast<float>(dev.g_min())) ++at_min;
+        if (g[i] == static_cast<float>(dev.g_max())) ++at_max;
+    }
+    EXPECT_NEAR(static_cast<double>(at_min) / 1e4, 0.05, 0.01);
+    EXPECT_NEAR(static_cast<double>(at_max) / 1e4, 0.02, 0.01);
+}
+
+TEST(Faults, DeterministicPerRngState) {
+    DeviceConfig dev;
+    FaultConfig faults;
+    faults.p_stuck_min = 0.1;
+    Tensor a({200}, 20e-6f), b({200}, 20e-6f);
+    util::Rng r1(6), r2(6);
+    apply_stuck_faults(a, dev, faults, r1);
+    apply_stuck_faults(b, dev, faults, r2);
+    EXPECT_TRUE(tensor::allclose(a, b, 0.0f, 0.0f));
+}
+
+TEST(Faults, InvalidRatesThrow) {
+    DeviceConfig dev;
+    util::Rng rng(7);
+    Tensor g({4}, 1e-5f);
+    FaultConfig faults;
+    faults.p_stuck_min = 0.8;
+    faults.p_stuck_max = 0.5;  // sum > 1
+    EXPECT_THROW(apply_stuck_faults(g, dev, faults, rng), std::invalid_argument);
+}
+
+TEST(Faults, AnyFlag) {
+    FaultConfig f;
+    EXPECT_FALSE(f.any());
+    f.p_stuck_max = 0.01;
+    EXPECT_TRUE(f.any());
+}
+
+}  // namespace
+}  // namespace xs::xbar

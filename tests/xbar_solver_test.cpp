@@ -1,0 +1,205 @@
+#include "tensor/ops.h"
+#include "xbar/config.h"
+#include "xbar/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xs::xbar {
+namespace {
+
+using tensor::Tensor;
+
+CrossbarConfig config_of(std::int64_t size, double rd, double rwr, double rwc,
+                         double rs) {
+    CrossbarConfig c;
+    c.size = size;
+    c.parasitics.r_driver = rd;
+    c.parasitics.r_wire_row = rwr;
+    c.parasitics.r_wire_col = rwc;
+    c.parasitics.r_sense = rs;
+    return c;
+}
+
+Tensor random_g(std::int64_t n, std::uint64_t seed, const DeviceConfig& dev) {
+    util::Rng rng(seed);
+    Tensor g({n, n});
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(rng.uniform(dev.g_min(), dev.g_max()));
+    return g;
+}
+
+TEST(IdealCurrents, MatchesDotProduct) {
+    const CrossbarConfig c = config_of(4, 100, 2, 2, 100);
+    Tensor g({4, 4}, 10e-6f);
+    g.at(1, 2) = 40e-6f;
+    const std::vector<double> v = {0.1, 0.2, 0.3, 0.4};
+    const CircuitSolver solver(c);
+    const auto currents = solver.ideal_currents(g, v);
+    // Column 2 has one larger device on row 1.
+    const double expected2 = 10e-6 * (0.1 + 0.3 + 0.4) + 40e-6 * 0.2;
+    EXPECT_NEAR(currents[2], expected2, 1e-12);
+    const double expected0 = 10e-6 * (0.1 + 0.2 + 0.3 + 0.4);
+    EXPECT_NEAR(currents[0], expected0, 1e-12);
+}
+
+TEST(Solver, NearZeroParasiticsGiveIdealCurrents) {
+    const CrossbarConfig c = config_of(8, 0.0, 0.0, 0.0, 0.0);
+    const Tensor g = random_g(8, 1, c.device);
+    const std::vector<double> v(8, 0.25);
+    const CircuitSolver solver(c);
+    const auto sol = solver.solve(g, v);
+    const auto ideal = solver.ideal_currents(g, v);
+    for (std::size_t j = 0; j < 8; ++j)
+        EXPECT_NEAR(sol.currents[j], ideal[j], ideal[j] * 1e-3);
+}
+
+TEST(Solver, NonIdealCurrentsAreReduced) {
+    const CrossbarConfig c = config_of(16, 100, 2, 2, 100);
+    const Tensor g = random_g(16, 2, c.device);
+    const std::vector<double> v(16, 0.25);
+    const CircuitSolver solver(c);
+    const auto sol = solver.solve(g, v);
+    const auto ideal = solver.ideal_currents(g, v);
+    for (std::size_t j = 0; j < 16; ++j) {
+        EXPECT_LT(sol.currents[j], ideal[j]);
+        EXPECT_GT(sol.currents[j], 0.0);
+    }
+}
+
+class SolverVsDense
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SolverVsDense, LineRelaxationMatchesDenseMna) {
+    const auto [size, seed] = GetParam();
+    const CrossbarConfig c = config_of(size, 60, 2, 2, 60);
+    const Tensor g = random_g(size, seed, c.device);
+    util::Rng rng(seed + 99);
+    std::vector<double> v(static_cast<std::size_t>(size));
+    for (auto& vi : v) vi = rng.uniform(0.0, 0.3);
+
+    const CircuitSolver solver(c);
+    const auto fast = solver.solve(g, v);
+    const auto dense = solver.solve_dense(g, v);
+    for (std::size_t j = 0; j < static_cast<std::size_t>(size); ++j)
+        EXPECT_NEAR(fast.currents[j], dense.currents[j],
+                    std::fabs(dense.currents[j]) * 1e-6 + 1e-15)
+            << "column " << j;
+    // Node voltages agree too.
+    EXPECT_LT(tensor::max_abs_diff(fast.v_row, dense.v_row), 1e-6f);
+    EXPECT_LT(tensor::max_abs_diff(fast.v_col, dense.v_col), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesSeeds, SolverVsDense,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(11ull, 22ull, 33ull)));
+
+TEST(Solver, KclHoldsAtSenseNode) {
+    // Sum of device currents into a column equals the sensed current.
+    const CrossbarConfig c = config_of(8, 60, 2, 2, 60);
+    const Tensor g = random_g(8, 5, c.device);
+    const std::vector<double> v(8, 0.25);
+    const CircuitSolver solver(c);
+    const auto sol = solver.solve(g, v);
+    for (std::int64_t j = 0; j < 8; ++j) {
+        double device_sum = 0.0;
+        for (std::int64_t i = 0; i < 8; ++i)
+            device_sum += static_cast<double>(g.at(i, j)) *
+                          (static_cast<double>(sol.v_row.at(i, j)) -
+                           sol.v_col.at(i, j));
+        EXPECT_NEAR(device_sum, sol.currents[static_cast<std::size_t>(j)],
+                    std::fabs(sol.currents[static_cast<std::size_t>(j)]) * 1e-5);
+    }
+}
+
+TEST(Solver, VoltagesBoundedByInput) {
+    const CrossbarConfig c = config_of(16, 100, 5, 5, 100);
+    const Tensor g = random_g(16, 6, c.device);
+    const std::vector<double> v(16, 0.25);
+    const CircuitSolver solver(c);
+    const auto sol = solver.solve(g, v);
+    for (std::int64_t i = 0; i < 16; ++i)
+        for (std::int64_t j = 0; j < 16; ++j) {
+            EXPECT_LE(sol.v_row.at(i, j), 0.25f + 1e-6f);
+            EXPECT_GE(sol.v_row.at(i, j), -1e-6f);
+            EXPECT_GE(sol.v_col.at(i, j), -1e-6f);
+            EXPECT_LE(sol.v_col.at(i, j), 0.25f + 1e-6f);
+        }
+}
+
+TEST(Solver, RowVoltageDecreasesAlongWire) {
+    // With uniform devices, the row voltage must fall monotonically with
+    // distance from the driver.
+    const CrossbarConfig c = config_of(16, 100, 5, 5, 100);
+    Tensor g({16, 16}, 30e-6f);
+    const std::vector<double> v(16, 0.25);
+    const CircuitSolver solver(c);
+    const auto sol = solver.solve(g, v);
+    for (std::int64_t j = 1; j < 16; ++j)
+        EXPECT_LE(sol.v_row.at(0, j), sol.v_row.at(0, j - 1) + 1e-9f);
+}
+
+TEST(Solver, ColumnVoltageIncreasesTowardSense) {
+    const CrossbarConfig c = config_of(16, 100, 5, 5, 100);
+    Tensor g({16, 16}, 30e-6f);
+    const std::vector<double> v(16, 0.25);
+    const CircuitSolver solver(c);
+    const auto sol = solver.solve(g, v);
+    // Current flows downward; potential drops toward ground at the bottom,
+    // so V_col must decrease from top to bottom? No: the sense node is the
+    // lowest potential; current flows from device nodes down. Check
+    // monotone decrease toward the sense end.
+    for (std::int64_t i = 1; i < 16; ++i)
+        EXPECT_LE(sol.v_col.at(i, 0), sol.v_col.at(i - 1, 0) + 1e-9f);
+}
+
+TEST(Solver, ZeroInputGivesZeroOutput) {
+    const CrossbarConfig c = config_of(8, 60, 2, 2, 60);
+    const Tensor g = random_g(8, 7, c.device);
+    const std::vector<double> v(8, 0.0);
+    const CircuitSolver solver(c);
+    const auto sol = solver.solve(g, v);
+    for (const auto i : sol.currents) EXPECT_NEAR(i, 0.0, 1e-15);
+}
+
+TEST(Solver, LinearInInputVoltage) {
+    const CrossbarConfig c = config_of(8, 60, 2, 2, 60);
+    const Tensor g = random_g(8, 8, c.device);
+    const CircuitSolver solver(c);
+    const auto sol1 = solver.solve(g, std::vector<double>(8, 0.1));
+    const auto sol2 = solver.solve(g, std::vector<double>(8, 0.2));
+    for (std::size_t j = 0; j < 8; ++j)
+        EXPECT_NEAR(sol2.currents[j], 2.0 * sol1.currents[j],
+                    std::fabs(sol1.currents[j]) * 1e-6);
+}
+
+TEST(Solver, ShapeMismatchThrows) {
+    const CrossbarConfig c = config_of(8, 60, 2, 2, 60);
+    const CircuitSolver solver(c);
+    Tensor g({4, 4}, 1e-5f);
+    EXPECT_THROW(solver.solve(g, std::vector<double>(8, 0.1)),
+                 std::invalid_argument);
+    Tensor g8({8, 8}, 1e-5f);
+    EXPECT_THROW(solver.solve(g8, std::vector<double>(4, 0.1)),
+                 std::invalid_argument);
+}
+
+TEST(Config, DeviceDerivedQuantities) {
+    DeviceConfig d;
+    EXPECT_NEAR(d.g_max(), 50e-6, 1e-12);
+    EXPECT_NEAR(d.g_min(), 5e-6, 1e-12);
+    EXPECT_NEAR(d.on_off_ratio(), 10.0, 1e-12);
+}
+
+TEST(Config, IdealParasiticsAreZero) {
+    const ParasiticsConfig p = ParasiticsConfig::ideal();
+    EXPECT_EQ(p.r_driver, 0.0);
+    EXPECT_EQ(p.r_wire_row, 0.0);
+    EXPECT_EQ(p.r_wire_col, 0.0);
+    EXPECT_EQ(p.r_sense, 0.0);
+}
+
+}  // namespace
+}  // namespace xs::xbar
