@@ -30,6 +30,23 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+// Pruned-weight inference: A is 90 % zeros, exercising the row-sparse path.
+void BM_GemmSparse(benchmark::State& state) {
+    const auto n = state.range(0);
+    util::Rng rng(1);
+    tensor::Tensor a({n, n}), b({n, n}), c({n, n});
+    tensor::fill_normal(a, rng, 0.0f, 1.0f);
+    tensor::fill_normal(b, rng, 0.0f, 1.0f);
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        if (rng.uniform() < 0.9) a[i] = 0.0f;
+    for (auto _ : state) {
+        tensor::gemm(n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f, c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmSparse)->Arg(128)->Arg(256);
+
 void BM_Im2col(benchmark::State& state) {
     const std::int64_t c = state.range(0), s = 32, k = 3;
     util::Rng rng(2);
@@ -60,6 +77,43 @@ void BM_CircuitSolve(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_CircuitSolve)->Arg(16)->Arg(32)->Arg(64);
+
+// A stream of distinct random conductance tiles, mimicking the pipeline's
+// tile sequence (each tile's variation/fault draw differs).
+std::vector<tensor::Tensor> random_tiles(std::int64_t size, std::size_t count,
+                                         std::uint64_t seed) {
+    xbar::DeviceConfig device;
+    util::Rng rng(seed);
+    std::vector<tensor::Tensor> tiles;
+    for (std::size_t t = 0; t < count; ++t) {
+        tensor::Tensor g({size, size});
+        for (std::int64_t i = 0; i < g.numel(); ++i)
+            g[i] = static_cast<float>(
+                rng.uniform(device.g_min(), device.g_max()));
+        tiles.push_back(std::move(g));
+    }
+    return tiles;
+}
+
+// The zero-allocation pipeline path: caller-owned workspace, factored
+// sweeps, each solve warm-started from the previous (different) tile's
+// converged voltages — the pattern the evaluator's tile loop produces.
+void BM_CircuitSolveWorkspace(benchmark::State& state) {
+    const auto size = state.range(0);
+    xbar::CrossbarConfig config;
+    config.size = size;
+    const auto tiles = random_tiles(size, 16, 3);
+    const std::vector<double> v(static_cast<std::size_t>(size), 0.25);
+    const xbar::CircuitSolver solver(config);
+    xbar::SolveWorkspace ws;
+    std::size_t t = 0;
+    for (auto _ : state) {
+        solver.solve(tiles[t], v.data(), ws);
+        t = (t + 1) % tiles.size();
+        benchmark::DoNotOptimize(ws.currents.data());
+    }
+}
+BENCHMARK(BM_CircuitSolveWorkspace)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_DenseMnaSolve(benchmark::State& state) {
     const auto size = state.range(0);
@@ -94,6 +148,23 @@ void BM_DegradeTile(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_DegradeTile)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_DegradeTileWorkspace(benchmark::State& state) {
+    const auto size = state.range(0);
+    xbar::CrossbarConfig config;
+    config.size = size;
+    const auto tiles = random_tiles(size, 16, 5);
+    const xbar::CircuitSolver solver(config);
+    xbar::DegradeWorkspace ws;
+    xbar::TileDegradeResult out;
+    std::size_t t = 0;
+    for (auto _ : state) {
+        xbar::degrade_tile(tiles[t], solver, ws, out);
+        t = (t + 1) % tiles.size();
+        benchmark::DoNotOptimize(out.g_eff.data());
+    }
+}
+BENCHMARK(BM_DegradeTileWorkspace)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_DegradeMacMatrix(benchmark::State& state) {
     const auto size = state.range(0);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the kernel micro-benchmarks and write machine-readable JSON so the
+# perf trajectory can be tracked across PRs.
+#
+# Usage: bench/run_bench.sh [build-dir] [output-json]
+#   build-dir    defaults to ./build (configured+built if missing)
+#   output-json  defaults to BENCH_micro.json in the repo root
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_micro.json}"
+
+if [[ ! -x "$build_dir/bench_micro" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" --target bench_micro
+fi
+
+"$build_dir/bench_micro" \
+  --benchmark_format=json \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-1}" \
+  "${@:3}"
+
+echo "wrote $out_json"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: a Release build+test job, plus a Debug job with Address-
+# and UB-sanitizers covering the workspace/parallel code. Run from anywhere.
+#
+# Usage: ci.sh [release|sanitize|all]   (default: all)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")" && pwd)"
+mode="${1:-all}"
+jobs="$(nproc)"
+
+run_release() {
+  echo "=== Release build + ctest ==="
+  cmake -B "$repo_root/build-release" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$repo_root/build-release" -j"$jobs"
+  ctest --test-dir "$repo_root/build-release" --output-on-failure -j"$jobs"
+}
+
+run_sanitize() {
+  echo "=== Debug + ASan/UBSan build + ctest ==="
+  cmake -B "$repo_root/build-asan" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=Debug -DXS_SANITIZE=ON \
+    -DXS_BUILD_BENCH=OFF -DXS_BUILD_EXAMPLES=OFF
+  cmake --build "$repo_root/build-asan" -j"$jobs"
+  # The integration test is minutes-long under sanitizers; everything else
+  # runs. It is fully covered by the Release job.
+  ctest --test-dir "$repo_root/build-asan" --output-on-failure -j"$jobs" \
+    -E core_integration_test
+}
+
+case "$mode" in
+  release) run_release ;;
+  sanitize) run_sanitize ;;
+  all) run_release; run_sanitize ;;
+  *) echo "usage: $0 [release|sanitize|all]" >&2; exit 2 ;;
+esac
+echo "CI OK"

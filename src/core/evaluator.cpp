@@ -31,204 +31,313 @@ map::Tiling make_tiling(const Tensor& work, prune::Method method,
     }
 }
 
-}  // namespace
-
-Tensor degrade_mac_matrix(const Tensor& matrix, const EvalConfig& config,
-                          double w_ref, util::Rng& rng, DegradeStats& stats) {
-    tensor::check(matrix.rank() == 2, "degrade_mac_matrix: expects rank-2 matrix");
-    tensor::check(w_ref > 0.0, "degrade_mac_matrix: w_ref must be positive");
-
-    // T: C/F-pruned matrices are compacted (zero rows/columns eliminated).
-    const bool use_compaction = config.method == prune::Method::kChannelFilter;
+// The deterministic mapping stages for one MAC matrix: T-compaction, the R
+// column rearrangement, and the tiling, all computed once so Monte-Carlo
+// repeats only redo the stochastic stages (variation / faults / solve).
+// `work` is only materialized when T or R actually transforms the matrix;
+// otherwise the caller's original matrix is the mapping target (avoiding a
+// second resident copy of every layer's weights).
+struct MatrixPlan {
+    bool use_compaction = false;
+    bool transformed = false;
     map::Compaction compaction;
-    Tensor work;
-    if (use_compaction) {
-        compaction = map::compact_dense(matrix);
-        work = compaction.matrix;
-    } else {
-        work = matrix;
-    }
-
-    // Mitigation R on the compacted matrix.
     Rearrangement rearrangement;
-    if (config.rearrange) {
-        rearrangement = compute_rearrangement(work, config.order);
-        work = apply_columns(work, rearrangement);
+    Tensor work;  // post-T/R mapping target (empty when !transformed)
+    map::Tiling tiling;
+
+    const Tensor& mapping_target(const Tensor& matrix) const {
+        return transformed ? work : matrix;
     }
+};
 
-    const map::Tiling tiling = make_tiling(work, config.method, config.xbar.size);
+MatrixPlan build_matrix_plan(const Tensor& matrix, const EvalConfig& config) {
+    tensor::check(matrix.rank() == 2, "degrade_mac_matrix: expects rank-2 matrix");
+    MatrixPlan plan;
+    // T: C/F-pruned matrices are compacted (zero rows/columns eliminated).
+    plan.use_compaction = config.method == prune::Method::kChannelFilter;
+    if (plan.use_compaction) {
+        plan.compaction = map::compact_dense(matrix);
+        // uncompact() only needs the index lists, so the compacted weights
+        // move into `work` rather than living twice in the cached plan.
+        plan.work = std::move(plan.compaction.matrix);
+        plan.transformed = true;
+    }
+    // Mitigation R on the compacted matrix.
+    if (config.rearrange) {
+        const Tensor& base = plan.mapping_target(matrix);
+        plan.rearrangement = compute_rearrangement(base, config.order);
+        plan.work = apply_columns(base, plan.rearrangement);
+        plan.transformed = true;
+    }
+    plan.tiling =
+        make_tiling(plan.mapping_target(matrix), config.method, config.xbar.size);
+    return plan;
+}
+
+// Per-worker scratch for the tile loop: tile/tensor buffers, the solver
+// workspace (carries warm-start state from tile to tile), and the column
+// sums used by the compensation pass. One instance per pool worker slot so
+// the steady state performs no per-tile heap allocation.
+struct TileWorker {
+    Tensor sub, tile_w;
+    Tensor g_pos, g_neg;
+    xbar::DegradeWorkspace ws;
+    xbar::TileDegradeResult pos, neg;
+    std::vector<double> col_before, col_after;
+};
+
+// Digital column gain: scale G′ columns so the calibration-point current
+// matches the pre-parasitic array (per differential array).
+void compensate_columns(Tensor& g_eff, const Tensor& g_before,
+                        std::int64_t n, TileWorker& tw) {
+    tw.col_before.assign(static_cast<std::size_t>(n), 0.0);
+    tw.col_after.assign(static_cast<std::size_t>(n), 0.0);
+    const float* gb = g_before.data();
+    float* ge = g_eff.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* gbi = gb + i * n;
+        const float* gei = ge + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+            tw.col_before[static_cast<std::size_t>(j)] += gbi[j];
+            tw.col_after[static_cast<std::size_t>(j)] += gei[j];
+        }
+    }
+    // Reuse col_after as the per-column gain, then scale in one row-major
+    // pass (a per-column inner loop would stride through the whole array n
+    // times).
+    for (std::int64_t j = 0; j < n; ++j) {
+        const double after = tw.col_after[static_cast<std::size_t>(j)];
+        tw.col_after[static_cast<std::size_t>(j)] =
+            after <= 0.0
+                ? 1.0
+                : tw.col_before[static_cast<std::size_t>(j)] / after;
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+        float* gei = ge + i * n;
+        for (std::int64_t j = 0; j < n; ++j)
+            gei[j] *= static_cast<float>(tw.col_after[static_cast<std::size_t>(j)]);
+    }
+}
+
+// Per-worker scratch shared across layers and Monte-Carlo repeats: create
+// one per top-level degrade call chain so repeats reuse the grown buffers.
+using TileWorkers = std::vector<TileWorker>;
+
+Tensor degrade_with_plan(const MatrixPlan& plan, const Tensor& matrix,
+                         const EvalConfig& config, double w_ref,
+                         util::Rng& rng, DegradeStats& stats,
+                         TileWorkers& workers) {
+    const std::int64_t n = config.xbar.size;
+    const auto& tiles = plan.tiling.tiles;
+    const Tensor& source = plan.mapping_target(matrix);
     const xbar::ConductanceMapper mapper(config.xbar.device, w_ref);
+    const xbar::CircuitSolver solver(config.xbar);
 
-    Tensor degraded = work;  // scatter target
-    // Pre-split one RNG per tile so the parallel loop stays deterministic.
+    Tensor degraded = source;  // scatter target; tiles cover disjoint entries
+    // Pre-split one RNG per tile so the stochastic draws stay deterministic
+    // regardless of the chunk partition. Warm-started solves do depend on
+    // the partition: the iteration stops on the last sweep's update, so
+    // different warm-start chains can leave residuals of order
+    // tolerance·ρ/(1−ρ) (ρ = contraction factor, ≤ ~1e-3 in the physical
+    // wire regime — far below float resolution, but not a bit-for-bit
+    // guarantee). config.warm_start_solves = false forces cold starts for
+    // strict cross-machine reproducibility; unconverged solves are retried
+    // cold inside degrade_tile either way.
     std::vector<util::Rng> tile_rngs;
-    tile_rngs.reserve(tiling.tiles.size());
-    for (std::size_t t = 0; t < tiling.tiles.size(); ++t)
+    tile_rngs.reserve(tiles.size());
+    for (std::size_t t = 0; t < tiles.size(); ++t)
         tile_rngs.push_back(rng.split(static_cast<std::uint64_t>(t) + 1));
 
-    std::vector<double> tile_nf(tiling.tiles.size(), 0.0);
-    std::vector<Tensor> tile_out(tiling.tiles.size());
+    std::vector<double> tile_nf(tiles.size(), 0.0);
+    std::vector<std::uint8_t> tile_ok(tiles.size(), 1);
+    if (workers.size() < util::worker_count()) workers.resize(util::worker_count());
 
-    // Digital column gain: scale G′ columns so the calibration-point current
-    // matches the pre-parasitic array (per differential array).
-    const auto compensate = [&config](Tensor& g_eff, const Tensor& g_before) {
-        const std::int64_t n = config.xbar.size;
-        for (std::int64_t j = 0; j < n; ++j) {
-            double before = 0.0, after = 0.0;
-            for (std::int64_t i = 0; i < n; ++i) {
-                before += g_before.at(i, j);
-                after += g_eff.at(i, j);
+    util::parallel_for_workers(
+        0, tiles.size(), [&](std::size_t w, std::size_t lo, std::size_t hi) {
+            TileWorker& tw = workers[w];
+            for (std::size_t t = lo; t < hi; ++t) {
+                const map::Tile& tile = tiles[t];
+                map::extract_tile_into(source, tile, n, tw.sub);
+                mapper.to_differential(tw.sub, tw.g_pos, tw.g_neg);
+                if (config.conductance_levels >= 2) {
+                    xbar::quantize_conductance(tw.g_pos, config.xbar.device,
+                                               config.conductance_levels);
+                    xbar::quantize_conductance(tw.g_neg, config.xbar.device,
+                                               config.conductance_levels);
+                }
+                if (config.include_variation) {
+                    xbar::apply_variation(tw.g_pos, config.xbar.device, tile_rngs[t]);
+                    xbar::apply_variation(tw.g_neg, config.xbar.device, tile_rngs[t]);
+                }
+                if (config.faults.any()) {
+                    xbar::apply_stuck_faults(tw.g_pos, config.xbar.device,
+                                             config.faults, tile_rngs[t]);
+                    xbar::apply_stuck_faults(tw.g_neg, config.xbar.device,
+                                             config.faults, tile_rngs[t]);
+                }
+                if (config.include_parasitics) {
+                    if (!config.warm_start_solves) tw.ws.solve.invalidate();
+                    xbar::degrade_tile(tw.g_pos, solver, tw.ws, tw.pos);
+                    if (!config.warm_start_solves) tw.ws.solve.invalidate();
+                    xbar::degrade_tile(tw.g_neg, solver, tw.ws, tw.neg);
+                    tile_ok[t] = tw.pos.converged && tw.neg.converged;
+                    if (config.compensate_columns) {
+                        compensate_columns(tw.pos.g_eff, tw.g_pos, n, tw);
+                        compensate_columns(tw.neg.g_eff, tw.g_neg, n, tw);
+                    }
+                    tile_nf[t] = 0.5 * (tw.pos.nf + tw.neg.nf);
+                    mapper.from_differential_into(tw.pos.g_eff, tw.neg.g_eff,
+                                                  tw.tile_w);
+                } else {
+                    mapper.from_differential_into(tw.g_pos, tw.g_neg, tw.tile_w);
+                }
+                // Tiles partition the matrix, so concurrent scatters are
+                // write-disjoint.
+                map::scatter_tile(degraded, tile, tw.tile_w);
             }
-            if (after <= 0.0) continue;
-            const float gain = static_cast<float>(before / after);
-            for (std::int64_t i = 0; i < n; ++i) g_eff.at(i, j) *= gain;
-        }
-    };
+        });
 
-    util::parallel_for(0, tiling.tiles.size(), [&](std::size_t t) {
-        const map::Tile& tile = tiling.tiles[t];
-        const Tensor sub = map::extract_tile(work, tile, config.xbar.size);
-
-        Tensor g_pos, g_neg;
-        mapper.to_differential(sub, g_pos, g_neg);
-        if (config.conductance_levels >= 2) {
-            xbar::quantize_conductance(g_pos, config.xbar.device,
-                                       config.conductance_levels);
-            xbar::quantize_conductance(g_neg, config.xbar.device,
-                                       config.conductance_levels);
-        }
-        if (config.include_variation) {
-            xbar::apply_variation(g_pos, config.xbar.device, tile_rngs[t]);
-            xbar::apply_variation(g_neg, config.xbar.device, tile_rngs[t]);
-        }
-        if (config.faults.any()) {
-            xbar::apply_stuck_faults(g_pos, config.xbar.device, config.faults,
-                                     tile_rngs[t]);
-            xbar::apply_stuck_faults(g_neg, config.xbar.device, config.faults,
-                                     tile_rngs[t]);
-        }
-        double nf = 0.0;
-        if (config.include_parasitics) {
-            const xbar::TileDegradeResult pos = xbar::degrade_tile(g_pos, config.xbar);
-            const xbar::TileDegradeResult neg = xbar::degrade_tile(g_neg, config.xbar);
-            if (config.compensate_columns) {
-                Tensor pos_eff = pos.g_eff, neg_eff = neg.g_eff;
-                compensate(pos_eff, g_pos);
-                compensate(neg_eff, g_neg);
-                g_pos = std::move(pos_eff);
-                g_neg = std::move(neg_eff);
-            } else {
-                g_pos = pos.g_eff;
-                g_neg = neg.g_eff;
-            }
-            nf = 0.5 * (pos.nf + neg.nf);
-        }
-        tile_out[t] = mapper.from_differential(g_pos, g_neg);
-        tile_nf[t] = nf;
-    });
-
-    for (std::size_t t = 0; t < tiling.tiles.size(); ++t) {
-        map::scatter_tile(degraded, tiling.tiles[t], tile_out[t]);
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
         stats.nf_sum += tile_nf[t];
         ++stats.nf_tiles;
+        if (!tile_ok[t]) ++stats.unconverged;
     }
-    stats.tiles += tiling.count();
+    stats.tiles += plan.tiling.count();
 
     // R⁻¹ then T⁻¹.
-    if (config.rearrange) degraded = invert_columns(degraded, rearrangement);
-    if (use_compaction) return map::uncompact(compaction, degraded);
+    if (config.rearrange) degraded = invert_columns(degraded, plan.rearrangement);
+    if (plan.use_compaction) return map::uncompact(plan.compaction, degraded);
     return degraded;
 }
 
-std::map<std::string, Tensor> degrade_model_matrices(
-    nn::Sequential& model, const EvalConfig& config,
-    std::vector<LayerEvalStats>* layer_stats) {
-    std::map<std::string, Tensor> result;
-    util::Rng rng(config.seed);
-    std::uint64_t layer_tag = 1;
+// One mappable layer's cached mapping state, reused across repeats.
+struct LayerPlan {
+    nn::Layer* layer = nullptr;
+    Tensor matrix;  // original weights (restoration copy)
+    double w_ref = 0.0;
+    MatrixPlan plan;
+};
 
+std::vector<LayerPlan> build_layer_plans(nn::Sequential& model,
+                                         const EvalConfig& config) {
+    std::vector<LayerPlan> plans;
     for (nn::Layer* layer : map::mappable_layers(model)) {
-        const Tensor matrix = map::extract_matrix(*layer);
+        LayerPlan lp;
+        lp.layer = layer;
+        lp.matrix = map::extract_matrix(*layer);
 
-        double w_ref = 0.0;
         const auto it = config.w_ref.find(layer->name());
         if (it != config.w_ref.end()) {
-            w_ref = it->second;
+            lp.w_ref = it->second;
         } else {
-            w_ref = tensor::abs_percentile_nonzero(matrix, config.w_ref_percentile);
+            lp.w_ref =
+                tensor::abs_percentile_nonzero(lp.matrix, config.w_ref_percentile);
         }
-        if (w_ref <= 0.0) w_ref = 1.0;  // degenerate all-zero layer
+        if (lp.w_ref <= 0.0) lp.w_ref = 1.0;  // degenerate all-zero layer
 
-        util::Rng layer_rng = rng.split(layer_tag++);
-        DegradeStats stats;
-        Tensor degraded = degrade_mac_matrix(matrix, config, w_ref, layer_rng, stats);
-
-        if (layer_stats) {
-            LayerEvalStats ls;
-            ls.layer = layer->name();
-            if (config.method == prune::Method::kChannelFilter) {
-                const map::Compaction c = map::compact_dense(matrix);
-                ls.rows = c.matrix.dim(0);
-                ls.cols = c.matrix.dim(1);
-            } else {
-                ls.rows = matrix.dim(0);
-                ls.cols = matrix.dim(1);
-            }
-            ls.tiles = stats.tiles;
-            ls.nf_mean = stats.nf_mean();
-            ls.w_ref = w_ref;
-            layer_stats->push_back(std::move(ls));
-        }
-        result.emplace(layer->name(), std::move(degraded));
+        lp.plan = build_matrix_plan(lp.matrix, config);
+        plans.push_back(std::move(lp));
     }
-    return result;
+    return plans;
 }
 
-namespace {
-
-EvalResult evaluate_single(nn::Sequential& model, const nn::Dataset& test,
-                           const EvalConfig& config) {
-    EvalResult result;
-    auto degraded = degrade_model_matrices(model, config, &result.layers);
-
-    // Swap in W′, keeping the originals for restoration.
-    std::map<std::string, Tensor> originals;
-    for (nn::Layer* layer : map::mappable_layers(model)) {
-        originals.emplace(layer->name(), map::extract_matrix(*layer));
-        map::inject_matrix(*layer, degraded.at(layer->name()));
+LayerEvalStats layer_stats_of(const LayerPlan& lp, const DegradeStats& stats) {
+    LayerEvalStats ls;
+    ls.layer = lp.layer->name();
+    if (lp.plan.use_compaction) {
+        ls.rows = static_cast<std::int64_t>(lp.plan.compaction.rows.size());
+        ls.cols = static_cast<std::int64_t>(lp.plan.compaction.cols.size());
+    } else {
+        ls.rows = lp.matrix.dim(0);
+        ls.cols = lp.matrix.dim(1);
     }
+    ls.tiles = stats.tiles;
+    ls.unconverged = stats.unconverged;
+    ls.nf_mean = stats.nf_mean();
+    ls.w_ref = lp.w_ref;
+    return ls;
+}
 
-    result.accuracy = nn::evaluate(model, test);
-
-    for (nn::Layer* layer : map::mappable_layers(model))
-        map::inject_matrix(*layer, originals.at(layer->name()));
-
+void finalize_nf(EvalResult& result) {
     double nf_sum = 0.0;
     std::int64_t nf_tiles = 0;
     for (const auto& ls : result.layers) {
         nf_sum += ls.nf_mean * static_cast<double>(ls.tiles);
         nf_tiles += ls.tiles;
         result.total_tiles += ls.tiles;
+        result.unconverged_tiles += ls.unconverged;
     }
     result.nf_mean = nf_tiles ? nf_sum / static_cast<double>(nf_tiles) : 0.0;
-    return result;
 }
 
 }  // namespace
 
+Tensor degrade_mac_matrix(const Tensor& matrix, const EvalConfig& config,
+                          double w_ref, util::Rng& rng, DegradeStats& stats) {
+    tensor::check(w_ref > 0.0, "degrade_mac_matrix: w_ref must be positive");
+    const MatrixPlan plan = build_matrix_plan(matrix, config);
+    TileWorkers workers;
+    return degrade_with_plan(plan, matrix, config, w_ref, rng, stats, workers);
+}
+
+std::map<std::string, Tensor> degrade_model_matrices(
+    nn::Sequential& model, const EvalConfig& config,
+    std::vector<LayerEvalStats>* layer_stats) {
+    std::map<std::string, Tensor> result;
+    const std::vector<LayerPlan> plans = build_layer_plans(model, config);
+    util::Rng rng(config.seed);
+    std::uint64_t layer_tag = 1;
+    TileWorkers workers;
+
+    for (const LayerPlan& lp : plans) {
+        util::Rng layer_rng = rng.split(layer_tag++);
+        DegradeStats stats;
+        Tensor degraded =
+            degrade_with_plan(lp.plan, lp.matrix, config, lp.w_ref, layer_rng,
+                              stats, workers);
+        if (layer_stats) layer_stats->push_back(layer_stats_of(lp, stats));
+        result.emplace(lp.layer->name(), std::move(degraded));
+    }
+    return result;
+}
+
 EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
                                  const EvalConfig& config) {
     const std::int64_t repeats = std::max<std::int64_t>(config.repeats, 1);
+    // The mapping plans (and w_ref scales) are deterministic: build them once
+    // and reuse across every Monte-Carlo repeat.
+    const std::vector<LayerPlan> plans = build_layer_plans(model, config);
+    TileWorkers workers;
+
     EvalResult aggregate;
     for (std::int64_t r = 0; r < repeats; ++r) {
-        EvalConfig run = config;
-        run.seed = config.seed + static_cast<std::uint64_t>(r) * 7919;
-        EvalResult one = evaluate_single(model, test, run);
+        const std::uint64_t run_seed =
+            config.seed + static_cast<std::uint64_t>(r) * 7919;
+        util::Rng rng(run_seed);
+        std::uint64_t layer_tag = 1;
+
+        EvalResult one;
+        for (const LayerPlan& lp : plans) {
+            util::Rng layer_rng = rng.split(layer_tag++);
+            DegradeStats stats;
+            Tensor degraded = degrade_with_plan(lp.plan, lp.matrix, config,
+                                                lp.w_ref, layer_rng, stats,
+                                                workers);
+            one.layers.push_back(layer_stats_of(lp, stats));
+            map::inject_matrix(*lp.layer, degraded);
+        }
+
+        one.accuracy = nn::evaluate(model, test);
+
+        for (const LayerPlan& lp : plans) map::inject_matrix(*lp.layer, lp.matrix);
+
+        finalize_nf(one);
         if (r == 0) {
             aggregate = std::move(one);
         } else {
             aggregate.accuracy += one.accuracy;
             aggregate.nf_mean += one.nf_mean;
+            aggregate.unconverged_tiles += one.unconverged_tiles;
         }
     }
     aggregate.accuracy /= static_cast<double>(repeats);
@@ -239,14 +348,7 @@ EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
 EvalResult measure_nf(nn::Sequential& model, const EvalConfig& config) {
     EvalResult result;
     degrade_model_matrices(model, config, &result.layers);
-    double nf_sum = 0.0;
-    std::int64_t nf_tiles = 0;
-    for (const auto& ls : result.layers) {
-        nf_sum += ls.nf_mean * static_cast<double>(ls.tiles);
-        nf_tiles += ls.tiles;
-        result.total_tiles += ls.tiles;
-    }
-    result.nf_mean = nf_tiles ? nf_sum / static_cast<double>(nf_tiles) : 0.0;
+    finalize_nf(result);
     return result;
 }
 

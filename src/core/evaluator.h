@@ -38,6 +38,12 @@ struct EvalConfig {
     std::int64_t repeats = 1;
     bool include_parasitics = true;
     bool include_variation = true;
+    // Warm-start each tile's circuit solve from the previous converged
+    // voltages of the same worker (DESIGN.md §4). In the physical parasitic
+    // regime the residual differences sit far below float resolution, but
+    // strictly bit-identical results across machines with different worker
+    // counts require disabling this (each solve then starts cold).
+    bool warm_start_solves = true;
 
     // ---- optional extensions (all off by default) ----
     // Finite write precision: number of programmable conductance levels
@@ -56,6 +62,7 @@ struct LayerEvalStats {
     std::string layer;
     std::int64_t rows = 0, cols = 0;  // matrix dims actually mapped (post-T)
     std::int64_t tiles = 0;
+    std::int64_t unconverged = 0;  // tiles whose circuit solve hit max_sweeps
     double nf_mean = 0.0;  // average NF over this layer's tiles (both arrays)
     double w_ref = 0.0;
 };
@@ -64,6 +71,7 @@ struct DegradeStats {
     std::int64_t tiles = 0;
     double nf_sum = 0.0;
     std::int64_t nf_tiles = 0;
+    std::int64_t unconverged = 0;  // tiles whose circuit solve hit max_sweeps
 
     double nf_mean() const {
         return nf_tiles ? nf_sum / static_cast<double>(nf_tiles) : 0.0;
@@ -73,7 +81,10 @@ struct DegradeStats {
 struct EvalResult {
     double accuracy = 0.0;          // % on the provided test set
     double nf_mean = 0.0;           // tile-average NF across all layers
-    std::int64_t total_tiles = 0;   // logical crossbars mapped
+    std::int64_t total_tiles = 0;   // logical crossbars mapped (one repeat)
+    // Solves that hit max_sweeps, summed over ALL Monte-Carlo repeats —
+    // compare against total_tiles × repeats, not total_tiles.
+    std::int64_t unconverged_tiles = 0;
     std::vector<LayerEvalStats> layers;
 };
 
@@ -90,7 +101,10 @@ std::map<std::string, tensor::Tensor> degrade_model_matrices(
     std::vector<LayerEvalStats>* layer_stats);
 
 // Full evaluation: swap in W′, measure test accuracy, restore the original
-// weights. The model is unchanged on return.
+// weights. The model is unchanged on return. The deterministic mapping
+// stages (T-compaction, R-rearrangement, tiling, w_ref) are computed once
+// and reused across all `config.repeats`; each repeat only redoes the
+// stochastic stages (variation, faults, circuit solve).
 EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
                                  const EvalConfig& config);
 

@@ -87,12 +87,22 @@ Tiling tile_xrs(const Tensor& matrix, std::int64_t xbar_size) {
     return t;
 }
 
-Tensor extract_tile(const Tensor& matrix, const Tile& tile, std::int64_t xbar_size) {
-    Tensor sub({xbar_size, xbar_size}, 0.0f);
+void extract_tile_into(const Tensor& matrix, const Tile& tile,
+                       std::int64_t xbar_size, Tensor& out) {
+    if (!(out.rank() == 2 && out.dim(0) == xbar_size && out.dim(1) == xbar_size)) {
+        out = Tensor({xbar_size, xbar_size}, 0.0f);
+    } else {
+        out.zero();
+    }
     for (std::size_t i = 0; i < tile.rows.size(); ++i)
         for (std::size_t j = 0; j < tile.cols.size(); ++j)
-            sub.at(static_cast<std::int64_t>(i), static_cast<std::int64_t>(j)) =
+            out.at(static_cast<std::int64_t>(i), static_cast<std::int64_t>(j)) =
                 matrix.at(tile.rows[i], tile.cols[j]);
+}
+
+Tensor extract_tile(const Tensor& matrix, const Tile& tile, std::int64_t xbar_size) {
+    Tensor sub;
+    extract_tile_into(matrix, tile, xbar_size, sub);
     return sub;
 }
 

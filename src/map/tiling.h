@@ -49,6 +49,10 @@ Tiling tile_xrs(const tensor::Tensor& matrix, std::int64_t xbar_size);
 tensor::Tensor extract_tile(const tensor::Tensor& matrix, const Tile& tile,
                             std::int64_t xbar_size);
 
+// Allocation-free variant: reuses `out` when it is already X×X.
+void extract_tile_into(const tensor::Tensor& matrix, const Tile& tile,
+                       std::int64_t xbar_size, tensor::Tensor& out);
+
 // Scatter an X×X tile back into the matrix (only covered entries written).
 void scatter_tile(tensor::Tensor& matrix, const Tile& tile,
                   const tensor::Tensor& sub);

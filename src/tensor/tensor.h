@@ -66,4 +66,10 @@ inline void check(bool condition, const std::string& what) {
     if (!condition) throw std::invalid_argument(what);
 }
 
+// Literal-message overload: no std::string is constructed unless the check
+// fails, keeping hot-path validation allocation-free.
+inline void check(bool condition, const char* what) {
+    if (!condition) throw std::invalid_argument(what);
+}
+
 }  // namespace xs::tensor

@@ -14,8 +14,12 @@ namespace {
 // dispatch) is not supported by the single-slot pool; such calls run inline.
 thread_local bool tl_in_parallel_region = false;
 
+using ChunkFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
 // A tiny persistent pool: workers wait on a condition variable for a chunked
 // task, execute their share, and signal completion. One pool per process.
+// Tasks receive (part, lo, hi); parts are distinct per concurrent execution,
+// so they double as per-worker state slots.
 class Pool {
 public:
     Pool() {
@@ -37,13 +41,20 @@ public:
 
     std::size_t count() const { return count_; }
 
-    void run(std::size_t begin, std::size_t end,
-             const std::function<void(std::size_t, std::size_t)>& fn) {
+    void run(std::size_t begin, std::size_t end, const ChunkFn& fn) {
         const std::size_t total = end - begin;
         if (total == 0) return;
+        if (count_ == 1 || tl_in_parallel_region) {
+            fn(0, begin, end);
+            return;
+        }
+        // Serialize concurrent top-level dispatches from distinct threads:
+        // the pool has a single task slot, and the thread-local region flag
+        // cannot see another thread's in-flight dispatch.
+        std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
         const std::size_t parts = std::min(count_, total);
-        if (parts == 1 || tl_in_parallel_region) {
-            fn(begin, end);
+        if (parts == 1) {
+            fn(0, begin, end);
             return;
         }
         tl_in_parallel_region = true;
@@ -69,20 +80,19 @@ public:
 
 private:
     static void run_part(std::size_t part, std::size_t begin, std::size_t end,
-                         std::size_t parts,
-                         const std::function<void(std::size_t, std::size_t)>& fn) {
+                         std::size_t parts, const ChunkFn& fn) {
         const std::size_t total = end - begin;
         const std::size_t chunk = (total + parts - 1) / parts;
         const std::size_t lo = begin + part * chunk;
         const std::size_t hi = std::min(end, lo + chunk);
-        if (lo < hi) fn(lo, hi);
+        if (lo < hi) fn(part, lo, hi);
     }
 
     void worker_loop(std::size_t) {
         tl_in_parallel_region = true;  // workers never re-dispatch to the pool
         std::uint64_t seen_generation = 0;
         while (true) {
-            const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+            const ChunkFn* fn = nullptr;
             std::size_t part = 0, begin = 0, end = 0, parts = 0;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
@@ -110,10 +120,11 @@ private:
     std::vector<std::thread> workers_;
     std::size_t count_ = 1;
 
+    std::mutex dispatch_mutex_;
     std::mutex mutex_;
     std::condition_variable cv_;
     std::condition_variable done_cv_;
-    const std::function<void(std::size_t, std::size_t)>* task_ = nullptr;
+    const ChunkFn* task_ = nullptr;
     std::size_t task_begin_ = 0, task_end_ = 0, task_parts_ = 0, next_part_ = 0;
     std::size_t pending_ = 0;
     std::uint64_t generation_ = 0;
@@ -131,13 +142,22 @@ std::size_t worker_count() { return pool().count(); }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {
-    parallel_for_chunks(begin, end, [&fn](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
+    pool().run(begin, end,
+               [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) fn(i);
+               });
 }
 
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& fn) {
+    pool().run(begin, end, [&fn](std::size_t, std::size_t lo, std::size_t hi) {
+        fn(lo, hi);
+    });
+}
+
+void parallel_for_workers(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
     pool().run(begin, end, fn);
 }
 

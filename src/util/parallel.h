@@ -22,4 +22,18 @@ void parallel_for(std::size_t begin, std::size_t end,
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& fn);
 
+// Chunked variant that also passes a worker slot index in [0, worker_count())
+// so callers can maintain per-worker scratch state (e.g. one solver
+// workspace per slot) without locking. Slots are unique per concurrently-
+// executing chunk (sequential reuse is possible, concurrent reuse is not):
+// top-level dispatches from distinct threads are serialized by the pool,
+// and nested dispatches from inside a chunk run inline on the calling
+// chunk's thread, reporting slot 0 — so per-slot state shared between a
+// caller and its own nested dispatch would collide on slot 0; nested
+// callbacks must use their own state.
+void parallel_for_workers(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t worker, std::size_t chunk_begin,
+                             std::size_t chunk_end)>& fn);
+
 }  // namespace xs::util

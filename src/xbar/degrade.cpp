@@ -18,39 +18,59 @@ void apply_variation(Tensor& g, const DeviceConfig& device, util::Rng& rng) {
     }
 }
 
-TileDegradeResult degrade_tile(const Tensor& g, const CrossbarConfig& config) {
+void degrade_tile(const Tensor& g, const CircuitSolver& solver,
+                  DegradeWorkspace& ws, TileDegradeResult& out) {
+    const CrossbarConfig& config = solver.config();
     const std::int64_t n = config.size;
     tensor::check(g.rank() == 2 && g.dim(0) == n && g.dim(1) == n,
                   "degrade_tile: conductance matrix shape mismatch");
     const double v_nom = config.parasitics.v_nom;
-    const std::vector<double> v_in(static_cast<std::size_t>(n), v_nom);
+    ws.v_in.assign(static_cast<std::size_t>(n), v_nom);
+    ws.ideal.resize(static_cast<std::size_t>(n));
 
-    const CircuitSolver solver(config);
-    const SolveResult sol = solver.solve(g, v_in);
+    const bool was_warm = ws.solve.warm && ws.solve.n == n;
+    if (!solver.solve(g, ws.v_in.data(), ws.solve) && was_warm) {
+        // A warm-started solve that ran out of sweeps would leave voltages
+        // that depend on whatever the workspace solved before. Retry cold so
+        // an unconverged result is at least deterministic.
+        ws.solve.invalidate();
+        solver.solve(g, ws.v_in.data(), ws.solve);
+    }
+    out.converged = ws.solve.converged;
+    out.sweeps = ws.solve.iterations;
 
-    TileDegradeResult result;
-    result.g_eff = Tensor({n, n});
+    if (!(out.g_eff.rank() == 2 && out.g_eff.dim(0) == n && out.g_eff.dim(1) == n))
+        out.g_eff = Tensor({n, n});
     const double inv_v = 1.0 / v_nom;
-    for (std::int64_t i = 0; i < n; ++i)
-        for (std::int64_t j = 0; j < n; ++j) {
-            const double alpha =
-                (static_cast<double>(sol.v_row.at(i, j)) - sol.v_col.at(i, j)) * inv_v;
-            // Attenuation can only reduce the device's effective drive; tiny
-            // negative values from numerical round-off are clamped away.
-            result.g_eff.at(i, j) = static_cast<float>(
-                std::max(0.0, alpha) * static_cast<double>(g.at(i, j)));
-        }
+    const float* gp = g.data();
+    float* ge = out.g_eff.data();
+    const double* vr = ws.solve.vr.data();
+    const double* vc = ws.solve.vc.data();
+    for (std::int64_t k = 0; k < n * n; ++k) {
+        const double alpha = (vr[k] - vc[k]) * inv_v;
+        // Attenuation can only reduce the device's effective drive; tiny
+        // negative values from numerical round-off are clamped away.
+        ge[k] = static_cast<float>(std::max(0.0, alpha) *
+                                   static_cast<double>(gp[k]));
+    }
 
-    const std::vector<double> ideal = solver.ideal_currents(g, v_in);
+    solver.ideal_currents(g, ws.v_in.data(), ws.ideal.data());
     double nf_sum = 0.0;
     std::int64_t nf_count = 0;
     for (std::int64_t j = 0; j < n; ++j) {
-        const double ii = ideal[static_cast<std::size_t>(j)];
+        const double ii = ws.ideal[static_cast<std::size_t>(j)];
         if (ii <= 0.0) continue;
-        nf_sum += (ii - sol.currents[static_cast<std::size_t>(j)]) / ii;
+        nf_sum += (ii - ws.solve.currents[static_cast<std::size_t>(j)]) / ii;
         ++nf_count;
     }
-    result.nf = nf_count ? nf_sum / static_cast<double>(nf_count) : 0.0;
+    out.nf = nf_count ? nf_sum / static_cast<double>(nf_count) : 0.0;
+}
+
+TileDegradeResult degrade_tile(const Tensor& g, const CrossbarConfig& config) {
+    const CircuitSolver solver(config);
+    DegradeWorkspace ws;
+    TileDegradeResult result;
+    degrade_tile(g, solver, ws, result);
     return result;
 }
 

@@ -16,8 +16,21 @@ void apply_variation(tensor::Tensor& g, const DeviceConfig& device,
                      util::Rng& rng);
 
 struct TileDegradeResult {
-    tensor::Tensor g_eff;  // non-ideal conductances G′ (X×X)
-    double nf = 0.0;       // average NF over columns at the calibration input
+    tensor::Tensor g_eff;   // non-ideal conductances G′ (X×X)
+    double nf = 0.0;        // average NF over columns at the calibration input
+    bool converged = true;  // circuit solve reached tolerance
+    int sweeps = 0;         // relaxation sweeps the solve used
+};
+
+// Reusable scratch for degrade_tile: the circuit-solver workspace plus the
+// calibration input vector and the ideal-current buffer. One instance per
+// worker thread; reusing it across tiles keeps the steady state free of
+// heap allocations and lets the solver warm-start from the previous tile's
+// converged voltages (DESIGN.md §4).
+struct DegradeWorkspace {
+    SolveWorkspace solve;
+    std::vector<double> v_in;
+    std::vector<double> ideal;
 };
 
 // Fast-model calibration (DESIGN.md §2): solve the parasitic network once at
@@ -28,6 +41,12 @@ struct TileDegradeResult {
 // in high conductances sag more).
 TileDegradeResult degrade_tile(const tensor::Tensor& g,
                                const CrossbarConfig& config);
+
+// Zero-allocation variant for the tile pipeline: the caller owns the solver,
+// the workspace, and the result (whose g_eff storage is reused when already
+// tile-shaped). Steady state performs no heap allocation.
+void degrade_tile(const tensor::Tensor& g, const CircuitSolver& solver,
+                  DegradeWorkspace& ws, TileDegradeResult& out);
 
 // NF = (I_ideal − I_nonideal) / I_ideal at the all-v_nom input, averaged over
 // columns with nonzero ideal current.

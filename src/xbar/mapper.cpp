@@ -20,8 +20,8 @@ double ConductanceMapper::to_conductance(double w_abs) const {
 
 void ConductanceMapper::to_differential(const Tensor& weights, Tensor& g_pos,
                                         Tensor& g_neg) const {
-    g_pos = Tensor(weights.shape());
-    g_neg = Tensor(weights.shape());
+    if (!g_pos.same_shape(weights)) g_pos = Tensor(weights.shape());
+    if (!g_neg.same_shape(weights)) g_neg = Tensor(weights.shape());
     const float* w = weights.data();
     float* gp = g_pos.data();
     float* gn = g_neg.data();
@@ -33,17 +33,24 @@ void ConductanceMapper::to_differential(const Tensor& weights, Tensor& g_pos,
     }
 }
 
-Tensor ConductanceMapper::from_differential(const Tensor& g_pos,
-                                            const Tensor& g_neg) const {
+void ConductanceMapper::from_differential_into(const Tensor& g_pos,
+                                               const Tensor& g_neg,
+                                               Tensor& w) const {
     tensor::check(g_pos.same_shape(g_neg),
                   "from_differential: pos/neg shape mismatch");
-    Tensor w(g_pos.shape());
+    if (!w.same_shape(g_pos)) w = Tensor(g_pos.shape());
     const float* gp = g_pos.data();
     const float* gn = g_neg.data();
     float* pw = w.data();
     const double inv_k = 1.0 / slope_;
     for (std::int64_t i = 0; i < w.numel(); ++i)
         pw[i] = static_cast<float>((static_cast<double>(gp[i]) - gn[i]) * inv_k);
+}
+
+Tensor ConductanceMapper::from_differential(const Tensor& g_pos,
+                                            const Tensor& g_neg) const {
+    Tensor w;
+    from_differential_into(g_pos, g_neg, w);
     return w;
 }
 

@@ -27,12 +27,17 @@ public:
     double to_conductance(double w_abs) const;
 
     // Differential pair for a signed tile: g_pos/g_neg are tile-shaped.
+    // Output tensors are reused when already weight-shaped (no allocation).
     void to_differential(const tensor::Tensor& weights, tensor::Tensor& g_pos,
                          tensor::Tensor& g_neg) const;
 
     // Effective signed weight of a (possibly degraded) differential pair.
     tensor::Tensor from_differential(const tensor::Tensor& g_pos,
                                      const tensor::Tensor& g_neg) const;
+    // Allocation-free variant: reuses `w` when already pair-shaped.
+    void from_differential_into(const tensor::Tensor& g_pos,
+                                const tensor::Tensor& g_neg,
+                                tensor::Tensor& w) const;
 
 private:
     DeviceConfig device_;

@@ -16,23 +16,25 @@ double safe_conductance(double resistance) {
     return resistance <= 0.0 ? 1e9 : 1.0 / resistance;
 }
 
-// Thomas algorithm for a tridiagonal system; diag/lower/upper/rhs size n.
-// lower[k] couples unknown k to k-1; upper[k] couples k to k+1.
-void thomas_solve(std::vector<double>& diag, std::vector<double>& lower,
-                  std::vector<double>& upper, std::vector<double>& rhs,
-                  std::vector<double>& x) {
-    const std::size_t n = diag.size();
-    for (std::size_t k = 1; k < n; ++k) {
-        const double m = lower[k] / diag[k - 1];
-        diag[k] -= m * upper[k - 1];
-        rhs[k] -= m * rhs[k - 1];
-    }
-    x[n - 1] = rhs[n - 1] / diag[n - 1];
-    for (std::size_t k = n - 1; k-- > 0;)
-        x[k] = (rhs[k] - upper[k] * x[k + 1]) / diag[k];
-}
-
 }  // namespace
+
+void SolveWorkspace::ensure(std::int64_t size) {
+    if (n == size) return;
+    const auto nn = static_cast<std::size_t>(size * size);
+    const auto ns = static_cast<std::size_t>(size);
+    vr.resize(nn);
+    vc.resize(nn);
+    g_row.resize(nn);
+    g_col.resize(nn);
+    row_m.resize(nn);
+    row_inv_d.resize(nn);
+    col_m.resize(nn);
+    col_inv_d.resize(nn);
+    rhs.resize(ns);
+    currents.resize(ns);
+    n = size;
+    warm = false;
+}
 
 CircuitSolver::CircuitSolver(const CrossbarConfig& config) : config_(config) {
     g_driver_ = safe_conductance(config.parasitics.r_driver);
@@ -41,50 +43,102 @@ CircuitSolver::CircuitSolver(const CrossbarConfig& config) : config_(config) {
     g_sense_ = safe_conductance(config.parasitics.r_sense);
 }
 
-std::vector<double> CircuitSolver::ideal_currents(
-    const Tensor& g, const std::vector<double>& v_in) const {
+void CircuitSolver::ideal_currents(const Tensor& g, const double* v_in,
+                                   double* out) const {
     const std::int64_t n = config_.size;
     check(g.rank() == 2 && g.dim(0) == n && g.dim(1) == n,
           "CircuitSolver: conductance matrix shape mismatch");
-    check(static_cast<std::int64_t>(v_in.size()) == n,
-          "CircuitSolver: input voltage count mismatch");
-    std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+    std::fill(out, out + n, 0.0);
     for (std::int64_t i = 0; i < n; ++i) {
         const float* row = g.data() + i * n;
-        const double vi = v_in[static_cast<std::size_t>(i)];
+        const double vi = v_in[i];
         for (std::int64_t j = 0; j < n; ++j)
-            out[static_cast<std::size_t>(j)] += static_cast<double>(row[j]) * vi;
+            out[j] += static_cast<double>(row[j]) * vi;
     }
+}
+
+std::vector<double> CircuitSolver::ideal_currents(
+    const Tensor& g, const std::vector<double>& v_in) const {
+    check(static_cast<std::int64_t>(v_in.size()) == config_.size,
+          "CircuitSolver: input voltage count mismatch");
+    std::vector<double> out(v_in.size());
+    ideal_currents(g, v_in.data(), out.data());
     return out;
 }
 
-SolveResult CircuitSolver::solve(const Tensor& g,
-                                 const std::vector<double>& v_in) const {
+bool CircuitSolver::solve(const Tensor& g, const double* v_in,
+                          SolveWorkspace& ws) const {
     const std::int64_t n = config_.size;
     check(g.rank() == 2 && g.dim(0) == n && g.dim(1) == n,
           "CircuitSolver: conductance matrix shape mismatch");
-    check(static_cast<std::int64_t>(v_in.size()) == n,
-          "CircuitSolver: input voltage count mismatch");
+    ws.ensure(n);
 
-    SolveResult result;
-    result.v_row = Tensor({n, n});
-    result.v_col = Tensor({n, n});
-    // Initial guess: rows at their source voltage, columns at ground.
-    for (std::int64_t i = 0; i < n; ++i)
-        for (std::int64_t j = 0; j < n; ++j)
-            result.v_row.at(i, j) = static_cast<float>(v_in[static_cast<std::size_t>(i)]);
+    const double gdrv = g_driver_, gwr = g_wire_row_, gwc = g_wire_col_,
+                 gsn = g_sense_;
 
-    // Double-precision working copies (float storage would stall convergence).
-    std::vector<double> vr(static_cast<std::size_t>(n * n));
-    std::vector<double> vc(static_cast<std::size_t>(n * n), 0.0);
-    for (std::int64_t i = 0; i < n; ++i)
-        for (std::int64_t j = 0; j < n; ++j)
-            vr[static_cast<std::size_t>(i * n + j)] = v_in[static_cast<std::size_t>(i)];
+    // Promote the device conductances to double, row- and column-major, so
+    // the sweeps below touch contiguous memory in both directions.
+    const float* gf = g.data();
+    double* gr = ws.g_row.data();
+    double* gc = ws.g_col.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float* src = gf + i * n;
+        double* dst = gr + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+            const double v = src[j];
+            dst[j] = v;
+            gc[j * n + i] = v;
+        }
+    }
 
-    std::vector<double> diag(static_cast<std::size_t>(n)),
-        lower(static_cast<std::size_t>(n)), upper(static_cast<std::size_t>(n)),
-        rhs(static_cast<std::size_t>(n)), x(static_cast<std::size_t>(n));
+    // Factor every chain's tridiagonal matrix once (it is constant across
+    // sweeps; only the right-hand side changes). For a chain with diagonal
+    // d_k and constant off-diagonal -w, forward elimination gives
+    // m_k = -w / d'_{k-1}, d'_k = d_k + m_k·w; we store m_k and 1/d'_k so a
+    // sweep is pure multiply-adds.
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double* grow = gr + i * n;
+        double* m = ws.row_m.data() + i * n;
+        double* inv = ws.row_inv_d.data() + i * n;
+        double d = gdrv + (n > 1 ? gwr : 0.0) + grow[0];
+        m[0] = 0.0;
+        inv[0] = 1.0 / d;
+        for (std::int64_t j = 1; j < n; ++j) {
+            const double mj = -gwr * inv[j - 1];
+            d = gwr + (j + 1 < n ? gwr : 0.0) + grow[j] + mj * gwr;
+            m[j] = mj;
+            inv[j] = 1.0 / d;
+        }
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+        const double* gcol = gc + j * n;
+        double* m = ws.col_m.data() + j * n;
+        double* inv = ws.col_inv_d.data() + j * n;
+        double d = (n > 1 ? gwc : gsn) + gcol[0];
+        m[0] = 0.0;
+        inv[0] = 1.0 / d;
+        for (std::int64_t i = 1; i < n; ++i) {
+            const double mi = -gwc * inv[i - 1];
+            d = gwc + (i + 1 < n ? gwc : gsn) + gcol[i] + mi * gwc;
+            m[i] = mi;
+            inv[i] = 1.0 / d;
+        }
+    }
 
+    double* vr = ws.vr.data();
+    double* vc = ws.vc.data();
+    if (!ws.warm) {
+        // Initial guess: rows at their source voltage, columns at ground.
+        for (std::int64_t i = 0; i < n; ++i) {
+            const double vi = v_in[i];
+            double* row = vr + i * n;
+            for (std::int64_t j = 0; j < n; ++j) row[j] = vi;
+        }
+        std::fill(vc, vc + n * n, 0.0);
+    }
+
+    const double omega = omega_;
+    double* r = ws.rhs.data();
     double max_delta = 0.0;
     int sweep = 0;
     for (; sweep < max_sweeps_; ++sweep) {
@@ -92,44 +146,41 @@ SolveResult CircuitSolver::solve(const Tensor& g,
 
         // Row chains: unknowns V_r(i, 0..n-1) with V_c frozen.
         for (std::int64_t i = 0; i < n; ++i) {
-            const float* grow = g.data() + i * n;
+            const double* grow = gr + i * n;
+            const double* m = ws.row_m.data() + i * n;
+            const double* inv = ws.row_inv_d.data() + i * n;
+            double* vri = vr + i * n;
+            const double* vci = vc + i * n;
+            r[0] = grow[0] * vci[0] + gdrv * v_in[i];
+            for (std::int64_t j = 1; j < n; ++j)
+                r[j] = grow[j] * vci[j] - m[j] * r[j - 1];
+            r[n - 1] *= inv[n - 1];
+            for (std::int64_t j = n - 2; j >= 0; --j)
+                r[j] = (r[j] + gwr * r[j + 1]) * inv[j];
             for (std::int64_t j = 0; j < n; ++j) {
-                const double gl = j == 0 ? g_driver_ : g_wire_row_;
-                const double gr = j + 1 < n ? g_wire_row_ : 0.0;
-                const double gd = grow[j];
-                const auto jj = static_cast<std::size_t>(j);
-                diag[jj] = gl + gr + gd;
-                lower[jj] = j == 0 ? 0.0 : -g_wire_row_;
-                upper[jj] = j + 1 < n ? -g_wire_row_ : 0.0;
-                rhs[jj] = gd * vc[static_cast<std::size_t>(i * n + j)] +
-                          (j == 0 ? gl * v_in[static_cast<std::size_t>(i)] : 0.0);
-            }
-            thomas_solve(diag, lower, upper, rhs, x);
-            for (std::int64_t j = 0; j < n; ++j) {
-                auto& v = vr[static_cast<std::size_t>(i * n + j)];
-                max_delta = std::max(max_delta, std::fabs(x[static_cast<std::size_t>(j)] - v));
-                v = x[static_cast<std::size_t>(j)];
+                const double d = r[j] - vri[j];
+                max_delta = std::max(max_delta, std::fabs(d));
+                vri[j] += omega * d;
             }
         }
 
-        // Column chains: unknowns V_c(0..n-1, j) with V_r frozen.
+        // Column chains: unknowns V_c(0..n-1, j) with V_r frozen. The bottom
+        // node's sense conductance couples to ground (0 V): no rhs term.
         for (std::int64_t j = 0; j < n; ++j) {
+            const double* gcol = gc + j * n;
+            const double* m = ws.col_m.data() + j * n;
+            const double* inv = ws.col_inv_d.data() + j * n;
+            r[0] = gcol[0] * vr[j];
+            for (std::int64_t i = 1; i < n; ++i)
+                r[i] = gcol[i] * vr[i * n + j] - m[i] * r[i - 1];
+            r[n - 1] *= inv[n - 1];
+            for (std::int64_t i = n - 2; i >= 0; --i)
+                r[i] = (r[i] + gwc * r[i + 1]) * inv[i];
             for (std::int64_t i = 0; i < n; ++i) {
-                const double gu = i == 0 ? 0.0 : g_wire_col_;
-                const double gd = i + 1 < n ? g_wire_col_ : g_sense_;
-                const double gdev = g.at(i, j);
-                const auto ii = static_cast<std::size_t>(i);
-                diag[ii] = gu + gd + gdev;
-                lower[ii] = i == 0 ? 0.0 : -g_wire_col_;
-                upper[ii] = i + 1 < n ? -g_wire_col_ : 0.0;
-                // Bottom node's gd couples to ground (0 V): no rhs term.
-                rhs[ii] = gdev * vr[static_cast<std::size_t>(i * n + j)];
-            }
-            thomas_solve(diag, lower, upper, rhs, x);
-            for (std::int64_t i = 0; i < n; ++i) {
-                auto& v = vc[static_cast<std::size_t>(i * n + j)];
-                max_delta = std::max(max_delta, std::fabs(x[static_cast<std::size_t>(i)] - v));
-                v = x[static_cast<std::size_t>(i)];
+                double& v = vc[i * n + j];
+                const double d = r[i] - v;
+                max_delta = std::max(max_delta, std::fabs(d));
+                v += omega * d;
             }
         }
 
@@ -139,17 +190,41 @@ SolveResult CircuitSolver::solve(const Tensor& g,
         }
     }
 
-    result.iterations = sweep;
-    result.max_delta = max_delta;
+    ws.iterations = sweep;
+    ws.max_delta = max_delta;
+    ws.converged = max_delta < tolerance_;
+    // Only a converged field is worth warm-starting from; after a failed
+    // solve the next one restarts cold, so bad state never propagates.
+    ws.warm = ws.converged;
+    for (std::int64_t j = 0; j < n; ++j)
+        ws.currents[static_cast<std::size_t>(j)] = vc[(n - 1) * n + j] * gsn;
+    return ws.converged;
+}
+
+SolveResult CircuitSolver::solve(const Tensor& g,
+                                 const std::vector<double>& v_in) const {
+    const std::int64_t n = config_.size;
+    check(static_cast<std::int64_t>(v_in.size()) == n,
+          "CircuitSolver: input voltage count mismatch");
+
+    // Buffer reuse across calls on the same thread; the cold start is kept
+    // (no warm-start) so results never depend on unrelated earlier solves.
+    static thread_local SolveWorkspace ws;
+    ws.invalidate();
+    solve(g, v_in.data(), ws);
+
+    SolveResult result;
+    result.v_row = Tensor({n, n});
+    result.v_col = Tensor({n, n});
     for (std::int64_t i = 0; i < n; ++i)
         for (std::int64_t j = 0; j < n; ++j) {
-            result.v_row.at(i, j) = static_cast<float>(vr[static_cast<std::size_t>(i * n + j)]);
-            result.v_col.at(i, j) = static_cast<float>(vc[static_cast<std::size_t>(i * n + j)]);
+            result.v_row.at(i, j) = static_cast<float>(ws.vr[static_cast<std::size_t>(i * n + j)]);
+            result.v_col.at(i, j) = static_cast<float>(ws.vc[static_cast<std::size_t>(i * n + j)]);
         }
-    result.currents.resize(static_cast<std::size_t>(n));
-    for (std::int64_t j = 0; j < n; ++j)
-        result.currents[static_cast<std::size_t>(j)] =
-            vc[static_cast<std::size_t>((n - 1) * n + j)] * g_sense_;
+    result.currents.assign(ws.currents.begin(), ws.currents.end());
+    result.iterations = ws.iterations;
+    result.max_delta = ws.max_delta;
+    result.converged = ws.converged;
     return result;
 }
 
@@ -240,6 +315,7 @@ SolveResult CircuitSolver::solve_dense(const Tensor& g,
         result.currents[static_cast<std::size_t>(j)] =
             v[static_cast<std::size_t>(n * n + (n - 1) * n + j)] * g_sense_;
     result.iterations = 1;
+    result.converged = true;
     return result;
 }
 

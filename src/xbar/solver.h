@@ -11,6 +11,13 @@
 // weak and the iteration converges in a handful of sweeps — much faster than
 // point Gauss–Seidel on the same 2·X² system. A dense Gaussian-elimination
 // reference (solve_dense) validates it in the test suite.
+//
+// The hot entry point is the SolveWorkspace overload (DESIGN.md §4): each
+// chain's tridiagonal factorization is computed once per solve and reused
+// across sweeps, all scratch lives in a caller-owned workspace so the steady
+// state performs no heap allocation, and the previous converged voltages can
+// warm-start the next solve. Optional SOR over-relaxation is available via
+// set_relaxation().
 #pragma once
 
 #include "tensor/tensor.h"
@@ -20,12 +27,49 @@
 
 namespace xs::xbar {
 
+// Reusable scratch for CircuitSolver::solve. Buffers grow on demand and are
+// never shrunk; after the first solve of a given size, subsequent solves of
+// the same size perform zero heap allocations. `vr`/`vc` double as the
+// warm-start state: when `warm` is true and the size matches, the next solve
+// iterates from the previous converged voltages instead of the flat initial
+// guess (a large win across Monte-Carlo repeats and neighbouring tiles,
+// whose conductance fields are statistically similar).
+struct SolveWorkspace {
+    // Node voltages, row-major X×X, double precision (float storage would
+    // stall convergence). Valid after a solve; inputs when warm.
+    std::vector<double> vr, vc;
+    // Sensed per-column output currents (A). Valid after a solve.
+    std::vector<double> currents;
+
+    // Per-solve internals: device conductances promoted to double (row- and
+    // column-major) and the precomputed Thomas factors of every row/column
+    // chain (forward multipliers `m` and reciprocal pivots `inv_d`).
+    std::vector<double> g_row, g_col;
+    std::vector<double> row_m, row_inv_d;
+    std::vector<double> col_m, col_inv_d;
+    std::vector<double> rhs;
+
+    std::int64_t n = 0;   // provisioned size
+    bool warm = false;    // vr/vc hold a previous solution of size n
+
+    // Outputs of the last solve.
+    int iterations = 0;
+    double max_delta = 0.0;
+    bool converged = false;
+
+    // Provision all buffers for size `size`; drops warm state on resize.
+    void ensure(std::int64_t size);
+    // Force the next solve to start from the flat initial guess.
+    void invalidate() { warm = false; }
+};
+
 struct SolveResult {
     std::vector<double> currents;  // sensed output current per column (A)
     tensor::Tensor v_row;          // row-node voltages (X×X)
     tensor::Tensor v_col;          // column-node voltages (X×X)
     int iterations = 0;            // relaxation sweeps used
     double max_delta = 0.0;        // final sweep's largest voltage update
+    bool converged = false;        // tolerance reached within max_sweeps
 };
 
 class CircuitSolver {
@@ -37,9 +81,18 @@ public:
     // treated as near-ideal (1 nΩ) conductors.
     SolveResult solve(const tensor::Tensor& g, const std::vector<double>& v_in) const;
 
+    // Zero-allocation variant: results land in ws.vr / ws.vc / ws.currents
+    // (plus ws.iterations / ws.max_delta / ws.converged). Returns the
+    // converged flag. Warm-starts from ws when it holds a same-size solution.
+    bool solve(const tensor::Tensor& g, const double* v_in,
+               SolveWorkspace& ws) const;
+
     // Parasitic-free dot product I_j = Σ_i G_ij · V_i.
     std::vector<double> ideal_currents(const tensor::Tensor& g,
                                        const std::vector<double>& v_in) const;
+    // Allocation-free variant; `out` must hold X doubles.
+    void ideal_currents(const tensor::Tensor& g, const double* v_in,
+                        double* out) const;
 
     // Dense modified-nodal-analysis reference with partial pivoting; O((2X²)³),
     // intended for validation at small X.
@@ -48,11 +101,22 @@ public:
 
     const CrossbarConfig& config() const { return config_; }
 
+    // Iteration controls. omega is the SOR over-relaxation factor applied to
+    // each line update (1.0 = plain alternating line relaxation; values in
+    // (1, 2) can cut the sweep count on strongly-coupled configurations).
+    void set_tolerance(double volts) { tolerance_ = volts; }
+    void set_max_sweeps(int sweeps) { max_sweeps_ = sweeps; }
+    void set_relaxation(double omega) { omega_ = omega; }
+    double tolerance() const { return tolerance_; }
+    int max_sweeps() const { return max_sweeps_; }
+    double relaxation() const { return omega_; }
+
 private:
     CrossbarConfig config_;
     double g_driver_, g_wire_row_, g_wire_col_, g_sense_;
     double tolerance_ = 1e-12;  // volts, on the max node update per sweep
     int max_sweeps_ = 20000;
+    double omega_ = 1.0;
 };
 
 }  // namespace xs::xbar

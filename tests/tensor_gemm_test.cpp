@@ -43,6 +43,27 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(128, 64, 256), std::make_tuple(1, 100, 50),
                       std::make_tuple(100, 1, 50), std::make_tuple(70, 70, 1)));
 
+TEST(Gemm, SparseAMatchesReference) {
+    // 90 %-sparse A above the size threshold exercises the row-sparse
+    // zero-skip path; a dense B keeps the reference meaningful.
+    util::Rng rng(99);
+    Tensor a({64, 64}), b({64, 48});
+    fill_normal(a, rng, 0.0f, 1.0f);
+    fill_normal(b, rng, 0.0f, 1.0f);
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        if (rng.uniform() < 0.9) a[i] = 0.0f;
+    const Tensor c = matmul(a, b);
+    const Tensor r = ref_matmul(a, b);
+    EXPECT_TRUE(allclose(c, r, 1e-3f, 1e-3f))
+        << "max diff " << max_abs_diff(c, r);
+
+    // alpha/beta semantics must match on the sparse path too.
+    Tensor c2({64, 48}, 1.0f);
+    gemm(64, 48, 64, 2.0f, a.data(), 64, b.data(), 48, 0.5f, c2.data(), 48);
+    for (std::int64_t i = 0; i < c2.numel(); ++i)
+        EXPECT_NEAR(c2[i], 2.0f * r[i] + 0.5f, 1e-2f);
+}
+
 TEST(Gemm, AlphaBeta) {
     util::Rng rng(3);
     Tensor a({4, 5}), b({5, 6}), c0({4, 6});

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace xs::util {
@@ -60,6 +61,53 @@ TEST(Parallel, RepeatedDispatches) {
 
 TEST(Parallel, WorkerCountPositive) {
     EXPECT_GE(worker_count(), 1u);
+}
+
+TEST(Parallel, WorkersPartitionRangeWithValidSlots) {
+    std::vector<std::atomic<int>> hits(512);
+    std::atomic<int> bad_slots{0};
+    parallel_for_workers(0, 512, [&](std::size_t worker, std::size_t lo,
+                                     std::size_t hi) {
+        if (worker >= worker_count()) bad_slots++;
+        EXPECT_LE(lo, hi);
+        for (std::size_t i = lo; i < hi; ++i) hits[i]++;
+    });
+    EXPECT_EQ(bad_slots.load(), 0);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, WorkerSlotsAreNeverUsedConcurrently) {
+    // Per-slot "in use" flags: a second concurrent entry on the same slot
+    // would trip the exchange check.
+    std::vector<std::atomic<int>> in_use(worker_count());
+    std::atomic<int> collisions{0};
+    for (int round = 0; round < 20; ++round) {
+        parallel_for_workers(0, 64, [&](std::size_t worker, std::size_t lo,
+                                        std::size_t hi) {
+            if (in_use[worker].exchange(1) != 0) collisions++;
+            volatile std::size_t sink = 0;
+            for (std::size_t i = lo; i < hi; ++i) sink += i;
+            in_use[worker].store(0);
+        });
+    }
+    EXPECT_EQ(collisions.load(), 0);
+}
+
+TEST(Parallel, ConcurrentTopLevelDispatchesAreSerialized) {
+    // Two application threads dispatching at once must not corrupt the
+    // pool's single task slot (dispatches are serialized internally).
+    std::vector<std::atomic<int>> hits(2000);
+    std::thread t1([&] {
+        for (int r = 0; r < 20; ++r)
+            parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+    });
+    std::thread t2([&] {
+        for (int r = 0; r < 20; ++r)
+            parallel_for(1000, 2000, [&](std::size_t i) { hits[i]++; });
+    });
+    t1.join();
+    t2.join();
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 20);
 }
 
 TEST(Parallel, LargeRangeSum) {
