@@ -1,8 +1,12 @@
 // Kernel micro-benchmarks (google-benchmark): GEMM, im2col, the crossbar
-// circuit solver, tile degradation, and dataset synthesis — the kernels
-// whose cost determines end-to-end experiment time.
+// circuit solver, tile degradation, dataset synthesis, and the end-to-end
+// inference/evaluation paths — the kernels whose cost determines experiment
+// time.
 #include "core/evaluator.h"
 #include "data/synthetic.h"
+#include "nn/infer.h"
+#include "nn/trainer.h"
+#include "nn/vgg.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
@@ -190,6 +194,69 @@ void BM_SyntheticGeneration(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_SyntheticGeneration)->Arg(64);
+
+// End-to-end eval-mode forward of a VGG-style batch through the fused
+// zero-allocation inference engine (DESIGN.md §6). The argument is the
+// channel-width multiplier in 1/16ths (4 → width 0.25).
+void BM_Forward(benchmark::State& state) {
+    nn::VggConfig vc;
+    vc.width = static_cast<double>(state.range(0)) / 16.0;
+    util::Rng rng(20);
+    nn::Sequential model = nn::build_vgg(vc, rng);
+    nn::InferenceEngine engine(model);
+    tensor::Tensor x({16, 3, 32, 32});
+    tensor::fill_normal(x, rng, 0.0f, 1.0f);
+    engine.forward(x);  // warm-up: arenas, scratch, pack buffers
+    for (auto _ : state) {
+        const tensor::Tensor& y = engine.forward(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Forward)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The pre-engine reference path (allocating Layer::forward per layer,
+// unfused BN/ReLU): the baseline BM_Forward is measured against.
+void BM_ForwardReference(benchmark::State& state) {
+    nn::VggConfig vc;
+    vc.width = static_cast<double>(state.range(0)) / 16.0;
+    util::Rng rng(20);
+    nn::Sequential model = nn::build_vgg(vc, rng);
+    tensor::Tensor x({16, 3, 32, 32});
+    tensor::fill_normal(x, rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        const tensor::Tensor y = model.forward(x, /*training=*/false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ForwardReference)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Full Monte-Carlo crossbar evaluation (degrade + inference per repeat) with
+// the overlapped repeat pipeline. Argument = number of repeats.
+void BM_EvaluateOnCrossbars(benchmark::State& state) {
+    nn::VggConfig vc;
+    vc.width = 0.0625;
+    util::Rng rng(21);
+    nn::Sequential model = nn::build_vgg(vc, rng);
+    nn::Dataset test;
+    test.num_classes = 10;
+    test.images = tensor::Tensor({32, 3, 32, 32});
+    tensor::fill_normal(test.images, rng, 0.0f, 1.0f);
+    test.labels.resize(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        test.labels[i] = static_cast<std::int64_t>(i % 10);
+    core::EvalConfig config;
+    config.xbar.size = 32;
+    config.repeats = state.range(0);
+    for (auto _ : state) {
+        const core::EvalResult r =
+            core::evaluate_on_crossbars(model, test, config);
+        benchmark::DoNotOptimize(r.accuracy);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EvaluateOnCrossbars)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_ConductanceMapping(benchmark::State& state) {
     xbar::DeviceConfig device;

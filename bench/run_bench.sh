@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Run the kernel micro-benchmarks and write machine-readable JSON so the
-# perf trajectory can be tracked across PRs.
+# Run the kernel micro-benchmarks, write machine-readable JSON so the perf
+# trajectory can be tracked across PRs, and print a seed-vs-current
+# comparison table (benchmarks new since the seed show "--" in the seed
+# column).
 #
 # Usage: bench/run_bench.sh [build-dir] [output-json]
 #   build-dir    defaults to ./build (configured+built if missing)
@@ -24,3 +26,46 @@ fi
   "${@:3}"
 
 echo "wrote $out_json"
+
+# Seed-vs-current comparison table.
+seed_json="$repo_root/bench/BENCH_micro.seed.json"
+if command -v python3 >/dev/null 2>&1 && [[ -f "$seed_json" ]]; then
+  python3 - "$seed_json" "$out_json" <<'PY'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out.setdefault(b["name"], b)  # first repetition wins
+    return out
+
+seed, cur = load(sys.argv[1]), load(sys.argv[2])
+
+def fmt(ns):
+    if ns is None:
+        return "--"
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g}{unit}"
+    return f"{ns:.3g}ns"
+
+def in_ns(entry):
+    if entry is None:
+        return None
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[entry.get("time_unit", "ns")]
+    return entry["real_time"] * scale
+
+width = max(len(n) for n in cur) if cur else 9
+print(f"\n{'benchmark':<{width}}  {'seed':>9}  {'current':>9}  {'speedup':>8}")
+print("-" * (width + 32))
+for name, entry in cur.items():
+    c = in_ns(entry)
+    s = in_ns(seed.get(name))
+    speedup = "--" if s is None else f"{s / c:.2f}x"
+    print(f"{name:<{width}}  {fmt(s):>9}  {fmt(c):>9}  {speedup:>8}")
+PY
+fi

@@ -15,6 +15,12 @@ run_release() {
     -DCMAKE_BUILD_TYPE=Release
   cmake --build "$repo_root/build-release" -j"$jobs"
   ctest --test-dir "$repo_root/build-release" --output-on-failure -j"$jobs"
+  # Bench smoke: one-ish iteration per benchmark so the bench targets (and
+  # the engine/evaluator paths they drive) can't bit-rot unnoticed.
+  if [[ -x "$repo_root/build-release/bench_micro" ]]; then
+    echo "=== bench smoke (min_time ~1 iteration) ==="
+    "$repo_root/build-release/bench_micro" --benchmark_min_time=0.000001
+  fi
 }
 
 run_sanitize() {

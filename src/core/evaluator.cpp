@@ -3,6 +3,7 @@
 #include "map/compaction.h"
 #include "map/matrix_view.h"
 #include "map/tiling.h"
+#include "nn/infer.h"
 #include "tensor/ops.h"
 #include "util/parallel.h"
 #include "xbar/degrade.h"
@@ -10,6 +11,7 @@
 #include "xbar/quantize.h"
 
 #include <algorithm>
+#include <future>
 
 namespace xs::core {
 
@@ -307,29 +309,63 @@ EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
     // The mapping plans (and w_ref scales) are deterministic: build them once
     // and reuse across every Monte-Carlo repeat.
     const std::vector<LayerPlan> plans = build_layer_plans(model, config);
-    TileWorkers workers;
+    nn::InferenceEngine engine(model);
+    tensor::check(engine.mappable_count() == plans.size(),
+                  "evaluate_on_crossbars: engine/plan mappable-layer mismatch");
+    TileWorkers workers;  // producer-owned scratch, reused across repeats
 
-    EvalResult aggregate;
-    for (std::int64_t r = 0; r < repeats; ++r) {
+    // Overlapped repeat pipeline (DESIGN.md §6): while repeat r's inference
+    // runs on this thread, a producer thread degrades repeat r+1's matrices
+    // into the other half of a double buffer. The pool's dispatch mutex
+    // serializes the two sides' parallel phases, so the overlap hides each
+    // side's serial sections (plan transforms, folding, linear/argmax)
+    // rather than doubling pool throughput. Each repeat's degraded W′
+    // reaches the engine as a refresh() override — folded after the swap, so
+    // BN folding composes with the degraded weights — and the shared model
+    // is never mutated (the old path paid two inject_matrix transpose copies
+    // per layer per repeat, plus a restore pass).
+    struct RepeatBuffer {
+        std::vector<Tensor> weights;      // per mappable layer, plan order
+        std::vector<DegradeStats> stats;  // parallel to `weights`
+    };
+    RepeatBuffer buffers[2];
+    const auto degrade_repeat = [&](std::int64_t r, RepeatBuffer& out) {
         const std::uint64_t run_seed =
             config.seed + static_cast<std::uint64_t>(r) * 7919;
         util::Rng rng(run_seed);
         std::uint64_t layer_tag = 1;
+        out.weights.resize(plans.size());
+        out.stats.assign(plans.size(), DegradeStats{});
+        for (std::size_t i = 0; i < plans.size(); ++i) {
+            util::Rng layer_rng = rng.split(layer_tag++);
+            out.weights[i] =
+                degrade_with_plan(plans[i].plan, plans[i].matrix, config,
+                                  plans[i].w_ref, layer_rng, out.stats[i],
+                                  workers);
+        }
+    };
+
+    std::future<void> producer = std::async(std::launch::async, degrade_repeat,
+                                            std::int64_t{0},
+                                            std::ref(buffers[0]));
+    std::vector<const Tensor*> overrides(plans.size(), nullptr);
+    EvalResult aggregate;
+    for (std::int64_t r = 0; r < repeats; ++r) {
+        producer.get();  // repeat r's weights are ready (rethrows on error)
+        RepeatBuffer& cur = buffers[r & 1];
+        // Kick off repeat r+1 before consuming repeat r; the producer writes
+        // the other buffer, whose previous contents were consumed at r-1.
+        if (r + 1 < repeats)
+            producer = std::async(std::launch::async, degrade_repeat, r + 1,
+                                  std::ref(buffers[(r + 1) & 1]));
 
         EvalResult one;
-        for (const LayerPlan& lp : plans) {
-            util::Rng layer_rng = rng.split(layer_tag++);
-            DegradeStats stats;
-            Tensor degraded = degrade_with_plan(lp.plan, lp.matrix, config,
-                                                lp.w_ref, layer_rng, stats,
-                                                workers);
-            one.layers.push_back(layer_stats_of(lp, stats));
-            map::inject_matrix(*lp.layer, degraded);
+        for (std::size_t i = 0; i < plans.size(); ++i) {
+            one.layers.push_back(layer_stats_of(plans[i], cur.stats[i]));
+            overrides[i] = &cur.weights[i];
         }
-
-        one.accuracy = nn::evaluate(model, test);
-
-        for (const LayerPlan& lp : plans) map::inject_matrix(*lp.layer, lp.matrix);
+        engine.refresh(overrides);
+        one.accuracy = nn::evaluate(engine, test);
 
         finalize_nf(one);
         if (r == 0) {

@@ -100,11 +100,13 @@ std::map<std::string, tensor::Tensor> degrade_model_matrices(
     nn::Sequential& model, const EvalConfig& config,
     std::vector<LayerEvalStats>* layer_stats);
 
-// Full evaluation: swap in W′, measure test accuracy, restore the original
-// weights. The model is unchanged on return. The deterministic mapping
-// stages (T-compaction, R-rearrangement, tiling, w_ref) are computed once
-// and reused across all `config.repeats`; each repeat only redoes the
-// stochastic stages (variation, faults, circuit solve).
+// Full evaluation: degrade W′ and measure test accuracy; the model itself is
+// never mutated — W′ reaches a per-call inference engine (nn/infer.h) as
+// folded-weight overrides. The deterministic mapping stages (T-compaction,
+// R-rearrangement, tiling, w_ref) are computed once and reused across all
+// `config.repeats`; each repeat only redoes the stochastic stages
+// (variation, faults, circuit solve), and repeat r+1's degradation overlaps
+// repeat r's inference on a producer thread (DESIGN.md §6).
 EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
                                  const EvalConfig& config);
 

@@ -20,19 +20,39 @@ BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
 }
 
 Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
-    check(x.rank() == 4 && x.dim(1) == channels_,
-          "BatchNorm2d " + name() + ": bad input " + shape_to_string(x.shape()));
+    if (x.rank() != 4 || x.dim(1) != channels_)  // lazy message: hot path
+        check(false, "BatchNorm2d " + name() + ": bad input " +
+                         shape_to_string(x.shape()));
     const std::int64_t n = x.dim(0), hw = x.dim(2) * x.dim(3);
     const std::int64_t count = n * hw;
+
+    Tensor y(x.shape());
+    if (!training) {
+        // Inference: running statistics only, expressed as a per-channel
+        // affine y = s·x + t — one pass, no cached state. (The inference
+        // engine folds this same affine into the preceding conv's weights;
+        // see DESIGN.md §6.)
+        for (std::int64_t c = 0; c < channels_; ++c) {
+            double sd, td;
+            inference_affine(c, sd, td);
+            const float s = static_cast<float>(sd);
+            const float t = static_cast<float>(td);
+            for (std::int64_t i = 0; i < n; ++i) {
+                const float* px = x.data() + (i * channels_ + c) * hw;
+                float* py = y.data() + (i * channels_ + c) * hw;
+                for (std::int64_t q = 0; q < hw; ++q) py[q] = s * px[q] + t;
+            }
+        }
+        return y;
+    }
 
     input_ = x;
     batch_mean_.assign(static_cast<std::size_t>(channels_), 0.0);
     batch_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0);
 
-    Tensor y(x.shape());
     for (std::int64_t c = 0; c < channels_; ++c) {
         double mean, var;
-        if (training) {
+        {
             double acc = 0.0;
             for (std::int64_t i = 0; i < n; ++i) {
                 const float* p = x.data() + (i * channels_ + c) * hw;
@@ -52,9 +72,6 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool training) {
                                                   momentum_ * mean);
             running_var_[c] = static_cast<float>((1.0 - momentum_) * running_var_[c] +
                                                  momentum_ * var);
-        } else {
-            mean = running_mean_[c];
-            var = running_var_[c];
         }
         const double inv_std = 1.0 / std::sqrt(var + eps_);
         batch_mean_[static_cast<std::size_t>(c)] = mean;

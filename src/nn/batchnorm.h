@@ -5,6 +5,8 @@
 
 #include "nn/layer.h"
 
+#include <cmath>
+
 namespace xs::nn {
 
 class BatchNorm2d : public Layer {
@@ -19,6 +21,18 @@ public:
     std::string describe() const override;
 
     std::int64_t channels() const { return channels_; }
+    float eps() const { return eps_; }
+
+    // Inference-mode per-channel affine y = s·x + t from the running
+    // statistics, in double precision — the single definition shared by the
+    // eval forward and the inference engine's BN folding (DESIGN.md §6).
+    void inference_affine(std::int64_t c, double& s, double& t) const {
+        const double inv_std =
+            1.0 / std::sqrt(static_cast<double>(running_var_[c]) + eps_);
+        s = static_cast<double>(gamma_.value[c]) * inv_std;
+        t = static_cast<double>(beta_.value[c]) - s * running_mean_[c];
+    }
+
     Param& gamma() { return gamma_; }
     Param& beta() { return beta_; }
     Tensor& running_mean() { return running_mean_; }

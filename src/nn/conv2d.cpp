@@ -28,30 +28,59 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
     if (has_bias_) bias_ = Param("bias", Tensor({out_channels}));
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool /*training*/) {
-    check(x.rank() == 4 && x.dim(1) == in_channels_,
-          "Conv2d " + name() + ": bad input shape " + shape_to_string(x.shape()));
+Tensor Conv2d::forward(const Tensor& x, bool training) {
+    if (x.rank() != 4 || x.dim(1) != in_channels_)  // lazy message: hot path
+        check(false, "Conv2d " + name() + ": bad input shape " +
+                         shape_to_string(x.shape()));
     const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
     out_h_ = tensor::conv_out_size(h, kernel_, stride_, pad_);
     out_w_ = tensor::conv_out_size(w, kernel_, stride_, pad_);
     const std::int64_t patch = in_channels_ * kernel_ * kernel_;
     const std::int64_t out_hw = out_h_ * out_w_;
 
-    input_ = x;
-    cols_.assign(static_cast<std::size_t>(n), Tensor({patch, out_hw}));
     Tensor y({n, out_channels_, out_h_, out_w_});
-
-    // Images are independent: parallelize the batch across workers.
-    util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t idx) {
-        const auto i = static_cast<std::int64_t>(idx);
-        Tensor& col = cols_[idx];
-        tensor::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h, w,
-                       kernel_, kernel_, stride_, pad_, col.data());
-        // y_i (Cout × out_hw) = W (Cout × patch) · col (patch × out_hw)
-        tensor::gemm_serial(out_channels_, out_hw, patch, 1.0f,
-                            weight_.value.data(), patch, col.data(), out_hw, 0.0f,
-                            y.data() + i * out_channels_ * out_hw, out_hw);
-    });
+    if (training) {
+        input_ = x;
+        // Backward needs every image's column buffer; reuse the existing
+        // tensors' storage instead of reallocating them each batch.
+        if (cols_.size() < static_cast<std::size_t>(n))
+            cols_.resize(static_cast<std::size_t>(n));
+        // Images are independent: parallelize the batch across workers.
+        util::parallel_for(0, static_cast<std::size_t>(n), [&](std::size_t idx) {
+            const auto i = static_cast<std::int64_t>(idx);
+            Tensor& col = cols_[idx];
+            col.reset(patch, out_hw);
+            tensor::im2col(x.data() + i * in_channels_ * h * w, in_channels_, h,
+                           w, kernel_, kernel_, stride_, pad_, col.data());
+            // y_i (Cout × out_hw) = W (Cout × patch) · col (patch × out_hw)
+            tensor::gemm_serial(out_channels_, out_hw, patch, 1.0f,
+                                weight_.value.data(), patch, col.data(), out_hw,
+                                0.0f, y.data() + i * out_channels_ * out_hw,
+                                out_hw);
+        });
+    } else {
+        // Eval mode: one im2col scratch per worker slot, shared by all the
+        // images that worker processes (no per-image buffers, no input copy).
+        if (eval_cols_.size() < util::worker_count())
+            eval_cols_.resize(util::worker_count());
+        util::parallel_for_workers(
+            0, static_cast<std::size_t>(n),
+            [&](std::size_t wkr, std::size_t lo, std::size_t hi) {
+                Tensor& col = eval_cols_[wkr];
+                col.reset(patch, out_hw);
+                for (std::size_t idx = lo; idx < hi; ++idx) {
+                    const auto i = static_cast<std::int64_t>(idx);
+                    tensor::im2col(x.data() + i * in_channels_ * h * w,
+                                   in_channels_, h, w, kernel_, kernel_, stride_,
+                                   pad_, col.data());
+                    tensor::gemm_serial(out_channels_, out_hw, patch, 1.0f,
+                                        weight_.value.data(), patch, col.data(),
+                                        out_hw, 0.0f,
+                                        y.data() + i * out_channels_ * out_hw,
+                                        out_hw);
+                }
+            });
+    }
     if (has_bias_) {
         float* py = y.data();
         for (std::int64_t i = 0; i < n; ++i)

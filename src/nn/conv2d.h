@@ -23,6 +23,8 @@ public:
     std::int64_t in_channels() const { return in_channels_; }
     std::int64_t out_channels() const { return out_channels_; }
     std::int64_t kernel() const { return kernel_; }
+    std::int64_t stride() const { return stride_; }
+    std::int64_t pad() const { return pad_; }
 
     Param& weight() { return weight_; }
     const Param& weight() const { return weight_; }
@@ -35,9 +37,11 @@ private:
     Param weight_;
     Param bias_;
 
-    // Cached for backward.
+    // Cached for backward (training-mode forwards only; eval-mode forwards
+    // keep no per-call state).
     Tensor input_;                      // (N, C, H, W)
-    std::vector<Tensor> cols_;          // per-image im2col buffers
+    std::vector<Tensor> cols_;          // per-image im2col buffers (reused)
+    std::vector<Tensor> eval_cols_;     // per-worker im2col scratch (eval)
     std::int64_t out_h_ = 0, out_w_ = 0;
 };
 

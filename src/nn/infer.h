@@ -1,0 +1,124 @@
+// Zero-allocation inference engine over a Sequential layer stack
+// (DESIGN.md §6).
+//
+// The training-oriented Layer::forward path allocates a fresh output tensor
+// per layer and, pre-guard, cached a deep copy of every input. For the
+// Monte-Carlo evaluation loop — thousands of eval-mode forward passes over
+// the same network — that cost dominates once the crossbar solve is fast.
+// The engine instead compiles the layer stack into a step plan once and
+// streams activations through a two-buffer ping-pong arena:
+//
+//  * Conv2d (+ following BatchNorm2d, + following ReLU) become ONE step:
+//    the BN affine is folded into the conv weights/bias at refresh() time,
+//    the whole batch runs as a single tiled GEMM against weights packed
+//    once per refresh, and the bias+ReLU epilogue runs on each GEMM tile
+//    while it is hot — eliminating two full passes over every activation
+//    map plus the per-call weight packing.
+//  * im2col writes the packed-B panel layout directly (im2col_pack_b), so
+//    the GEMM's column-packing pass disappears; the panel buffer grows
+//    once and is reused across batches, layers, and refresh cycles.
+//  * Conv activations stay channel-major ("CN": channels × batch·H·W)
+//    through the conv trunk, so batched GEMM outputs need no reshuffle;
+//    Flatten transposes back to batch-major once, on the smallest map.
+//  * Linear (+ following ReLU) is fused the same way.
+//  * Dropout (identity at inference) is skipped.
+//
+// Weight swapping: refresh(mac_overrides) rebuilds the folded weights from
+// externally supplied MAC matrices (the evaluator's degraded W′) WITHOUT
+// touching the model — folding happens after the swap, per refresh, so BN
+// folding composes correctly with per-repeat degraded weights.
+//
+// After a warm-up forward, steady-state forwards of the same batch shape
+// perform zero heap allocations (pinned by tests/nn_infer_test.cpp).
+#pragma once
+
+#include "nn/sequential.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace xs::nn {
+
+class BatchNorm2d;
+class Conv2d;
+class Linear;
+
+class InferenceEngine {
+public:
+    // Compiles the plan and folds the current parameters (refresh()).
+    // The engine keeps pointers into `model`; it must outlive the engine
+    // and its layer structure must not change (weights may).
+    explicit InferenceEngine(Sequential& model);
+
+    // Non-copyable (owns arenas keyed to the plan), movable.
+    InferenceEngine(const InferenceEngine&) = delete;
+    InferenceEngine& operator=(const InferenceEngine&) = delete;
+    InferenceEngine(InferenceEngine&&) = default;
+    InferenceEngine& operator=(InferenceEngine&&) = default;
+
+    // Rebuild folded weights/biases from the model's current parameters.
+    // Call after any parameter mutation (training step, weight injection).
+    void refresh();
+
+    // Same, but each mappable (Conv2d/Linear) layer takes its MAC matrix
+    // (rows = inputs × cols = outputs, the map::extract_matrix orientation)
+    // from `mac_overrides`, ordered like map::mappable_layers(model); null
+    // entries fall back to the layer's own parameters. This is how degraded
+    // crossbar weights W′ are evaluated without mutating the model.
+    void refresh(const std::vector<const tensor::Tensor*>& mac_overrides);
+
+    // Eval-mode forward. The returned reference points at an engine-owned
+    // arena buffer and stays valid until the next forward call.
+    const Tensor& forward(const Tensor& x);
+    // Zero-copy variant reading the batch straight from caller storage
+    // (e.g. a contiguous slice of a dataset tensor).
+    const Tensor& forward(const float* x, const tensor::Shape& shape);
+
+    // Number of mappable layers the plan found (refresh override slots).
+    std::size_t mappable_count() const { return mappable_count_; }
+
+private:
+    struct Step {
+        enum class Kind {
+            kConv,      // Conv2d [+ folded BN] [+ fused ReLU]
+            kLinear,    // Linear [+ fused ReLU]
+            kBatchNorm, // standalone BatchNorm2d (eval statistics)
+            kReLU,      // standalone ReLU (in-place on the arena)
+            kMaxPool,
+            kAvgPool,
+            kFlatten,
+            kGeneric,   // fallback: Layer::forward(x, false) — allocates
+        };
+        Kind kind;
+        Layer* layer = nullptr;
+        BatchNorm2d* bn = nullptr;  // folded into kConv when non-null
+        bool relu = false;          // fused ReLU epilogue
+        bool epilogue = false;      // bias add and/or ReLU needed
+        // Geometry captured at plan time (layer structure is immutable).
+        std::int64_t cin = 0, cout = 0, k = 0, stride = 0, pad = 0, patch = 0;
+        std::int64_t in_features = 0, out_features = 0;
+        std::int64_t pool_kernel = 0;
+        Tensor w;  // folded weights: kConv (Cout × patch), kLinear (in × out)
+        Tensor b;  // folded bias (Cout) / (out); empty when !epilogue
+        // Conv weights packed once per refresh for the batched tile GEMM —
+        // the per-call sparsity scan and A-packing drop out of the batch
+        // loop (pruned layers stay on the zero-skip path instead).
+        tensor::PackedGemmA wpack;
+    };
+
+    void build_plan(Sequential& model);
+    void refresh_step(Step& step, const Tensor* mac_override);
+
+    const Tensor& run(const float* x, const tensor::Shape& shape);
+
+    std::vector<Step> steps_;
+    std::size_t mappable_count_ = 0;
+    Tensor arena_[2];             // ping-pong activation buffers
+    std::vector<float> packedb_;  // packed im2col panels, grown once and
+                                  // reused across layers/batches/refreshes
+    tensor::Shape cur_shape_;     // logical NCHW shape of the current buffer
+};
+
+}  // namespace xs::nn

@@ -11,8 +11,8 @@ using tensor::check;
 
 // ---- ReLU ----
 
-Tensor ReLU::forward(const Tensor& x, bool /*training*/) {
-    input_ = x;
+Tensor ReLU::forward(const Tensor& x, bool training) {
+    if (training) input_ = x;  // backward needs the pre-activation sign
     Tensor y = x;
     float* p = y.data();
     for (std::int64_t i = 0; i < y.numel(); ++i)
@@ -36,7 +36,7 @@ MaxPool2d::MaxPool2d(std::int64_t kernel) : kernel_(kernel) {
     check(kernel > 0, "MaxPool2d: kernel must be positive");
 }
 
-Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
+Tensor MaxPool2d::forward(const Tensor& x, bool training) {
     check(x.rank() == 4, "MaxPool2d: expects NCHW input");
     const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
     check(h % kernel_ == 0 && w % kernel_ == 0,
@@ -44,7 +44,8 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
     const std::int64_t oh = h / kernel_, ow = w / kernel_;
     in_shape_ = x.shape();
     Tensor y({n, c, oh, ow});
-    argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
+    // The argmax routing table is backward-only state.
+    if (training) argmax_.assign(static_cast<std::size_t>(y.numel()), 0);
 
     std::int64_t out_idx = 0;
     for (std::int64_t i = 0; i < n; ++i)
@@ -64,8 +65,9 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*training*/) {
                             }
                         }
                     y[out_idx] = best;
-                    argmax_[static_cast<std::size_t>(out_idx)] =
-                        (i * c + ch) * h * w + best_idx;
+                    if (training)
+                        argmax_[static_cast<std::size_t>(out_idx)] =
+                            (i * c + ch) * h * w + best_idx;
                 }
         }
     return y;

@@ -28,6 +28,7 @@ public:
     Tensor backward(const Tensor& dy) override;
     std::string type() const override { return "MaxPool2d"; }
     std::string describe() const override;
+    std::int64_t kernel() const { return kernel_; }
 
 private:
     std::int64_t kernel_;
@@ -43,6 +44,7 @@ public:
     Tensor backward(const Tensor& dy) override;
     std::string type() const override { return "AvgPool2d"; }
     std::string describe() const override;
+    std::int64_t kernel() const { return kernel_; }
 
 private:
     std::int64_t kernel_;
@@ -70,6 +72,8 @@ public:
     Tensor backward(const Tensor& dy) override;
     std::string type() const override { return "Dropout"; }
     std::string describe() const override;
+    // Inverted dropout: inference is exactly the identity.
+    bool identity_at_inference() const override { return true; }
 
 private:
     float p_;

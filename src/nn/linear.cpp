@@ -19,10 +19,11 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& r
     if (has_bias_) bias_ = Param("bias", Tensor({out_features}));
 }
 
-Tensor Linear::forward(const Tensor& x, bool /*training*/) {
-    check(x.rank() == 2 && x.dim(1) == in_features_,
-          "Linear " + name() + ": bad input shape " + shape_to_string(x.shape()));
-    input_ = x;
+Tensor Linear::forward(const Tensor& x, bool training) {
+    if (x.rank() != 2 || x.dim(1) != in_features_)  // lazy message: hot path
+        check(false, "Linear " + name() + ": bad input shape " +
+                         shape_to_string(x.shape()));
+    if (training) input_ = x;  // backward needs x for the weight gradient
     const std::int64_t n = x.dim(0);
     Tensor y({n, out_features_});
     // y = x (n × in) · Wᵀ (in × out)

@@ -1,5 +1,6 @@
 #include "nn/trainer.h"
 
+#include "nn/infer.h"
 #include "tensor/ops.h"
 #include "util/log.h"
 
@@ -31,27 +32,32 @@ void gather_batch(const Dataset& data, const std::vector<std::size_t>& order,
     }
 }
 
-double evaluate(Sequential& model, const Dataset& data, std::int64_t batch_size) {
+double evaluate(InferenceEngine& engine, const Dataset& data,
+                std::int64_t batch_size) {
     const std::int64_t n = data.size();
     if (n == 0) return 0.0;
-    std::vector<std::size_t> order(static_cast<std::size_t>(n));
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-
-    Tensor batch;
-    std::vector<std::int64_t> labels;
+    // Evaluation order is the identity, so a batch is a contiguous row range
+    // of the dataset tensor: forward a view straight into its storage
+    // instead of building an order vector and memcpy'ing every batch.
+    const std::int64_t item = data.images.numel() / data.images.dim(0);
+    tensor::Shape batch_shape = data.images.shape();
     std::int64_t correct = 0;
     for (std::int64_t start = 0; start < n; start += batch_size) {
-        const std::size_t count =
-            static_cast<std::size_t>(std::min(batch_size, n - start));
-        gather_batch(data, order, static_cast<std::size_t>(start), count, batch,
-                     labels);
-        const Tensor logits = model.forward(batch, /*training=*/false);
-        for (std::size_t i = 0; i < count; ++i)
-            if (tensor::argmax_row(logits, static_cast<std::int64_t>(i)) ==
-                labels[i])
+        const std::int64_t count = std::min(batch_size, n - start);
+        batch_shape[0] = count;
+        const Tensor& logits =
+            engine.forward(data.images.data() + start * item, batch_shape);
+        for (std::int64_t i = 0; i < count; ++i)
+            if (tensor::argmax_row(logits, i) ==
+                data.labels[static_cast<std::size_t>(start + i)])
                 ++correct;
     }
     return 100.0 * static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double evaluate(Sequential& model, const Dataset& data, std::int64_t batch_size) {
+    InferenceEngine engine(model);
+    return evaluate(engine, data, batch_size);
 }
 
 std::vector<EpochStats> train(Sequential& model, const Dataset& train_data,

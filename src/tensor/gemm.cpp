@@ -13,10 +13,12 @@ namespace {
 // (k-block × n-block), A into MR-tall row panels, and an MR×NR register-
 // blocked micro-kernel runs over the packed panels. Packing buffers are
 // thread-local and only grow, so the steady state allocates nothing.
-constexpr std::int64_t kMr = 8;    // micro-kernel rows
-constexpr std::int64_t kNr = 16;   // micro-kernel cols (one AVX-512 vector)
-constexpr std::int64_t kKc = 256;  // k-block depth
-constexpr std::int64_t kNc = 1024; // n-block width
+// The block geometry is public (gemm.h) because im2col_pack_b emits the
+// packed-B layout directly.
+constexpr std::int64_t kMr = kPackMr;  // micro-kernel rows
+constexpr std::int64_t kNr = kPackNr;  // micro-kernel cols (one AVX-512 vector)
+constexpr std::int64_t kKc = kPackKc;  // k-block depth
+constexpr std::int64_t kNc = kPackNc;  // n-block width
 
 struct PackBuffers {
     std::vector<float> a, b;
@@ -47,12 +49,10 @@ void pack_b(const float* b, std::int64_t ldb, std::int64_t k0, std::int64_t k1,
 }
 
 // A(i0:i1, k0:k1) → MR-tall panels, k-major inside each panel, zero-padded.
-void pack_a(const float* a, std::int64_t lda, std::int64_t i0, std::int64_t i1,
-            std::int64_t k0, std::int64_t k1, std::vector<float>& buf) {
-    const std::int64_t kc = k1 - k0, mc = i1 - i0;
-    const std::int64_t panels = (mc + kMr - 1) / kMr;
-    buf.resize(static_cast<std::size_t>(panels * kc * kMr));
-    float* dst = buf.data();
+// Writes panels * (k1-k0) * kMr floats at dst.
+void pack_a_into(const float* a, std::int64_t lda, std::int64_t i0,
+                 std::int64_t i1, std::int64_t k0, std::int64_t k1, float* dst) {
+    const std::int64_t panels = (i1 - i0 + kMr - 1) / kMr;
     for (std::int64_t ip = 0; ip < panels; ++ip) {
         const std::int64_t ib = i0 + ip * kMr;
         const std::int64_t h = std::min(kMr, i1 - ib);
@@ -62,6 +62,14 @@ void pack_a(const float* a, std::int64_t lda, std::int64_t i0, std::int64_t i1,
             dst += kMr;
         }
     }
+}
+
+void pack_a(const float* a, std::int64_t lda, std::int64_t i0, std::int64_t i1,
+            std::int64_t k0, std::int64_t k1, std::vector<float>& buf) {
+    const std::int64_t kc = k1 - k0, mc = i1 - i0;
+    const std::int64_t panels = (mc + kMr - 1) / kMr;
+    buf.resize(static_cast<std::size_t>(panels * kc * kMr));
+    pack_a_into(a, lda, i0, i1, k0, k1, buf.data());
 }
 
 // C(mr×nr) += alpha · Apanel · Bpanel. The accumulator tile lives in
@@ -111,6 +119,95 @@ void micro_kernel(std::int64_t kc, float alpha, const float* ap,
         }
     }
 }
+// Writeback of one accumulator panel with the tile path's fused semantics:
+// the first k-block stores (beta = 0, no C read or pre-zeroing pass), later
+// k-blocks accumulate, and the last k-block applies the per-row bias and/or
+// ReLU — so C is touched exactly once per k-block and the separate zeroing
+// and epilogue passes over the conv output disappear.
+inline void store_panel(const Vf* acc, float* c, std::int64_t ldc,
+                        std::int64_t mr, std::int64_t nr, bool load_c,
+                        const float* bias, bool relu) {
+    const Vf zero{};
+    for (std::int64_t r = 0; r < mr; ++r) {
+        float* cr = c + r * ldc;
+        if (nr == kNr) {
+            Vf cv = acc[r];
+            if (load_c) cv += load_vf(cr);
+            if (bias) cv += bias[r];
+            if (relu) cv = cv > zero ? cv : zero;
+            __builtin_memcpy(cr, &cv, sizeof(Vf));
+            continue;
+        }
+        // Partial panel: scalar tail — a vector C load would read past the
+        // row end.
+        const float add = bias ? bias[r] : 0.0f;
+        for (std::int64_t j = 0; j < nr; ++j) {
+            float v = acc[r][j] + add + (load_c ? cr[j] : 0.0f);
+            if (relu && v < 0.0f) v = 0.0f;
+            cr[j] = v;
+        }
+    }
+}
+
+// Dual-panel variant: one pass over the packed A panel feeds TWO adjacent B
+// panels (an 8×32 register tile — 16 accumulators + 2 B vectors fit the 32
+// zmm registers). The single-panel kernel is load-bound (9 loads per 8
+// FMAs); amortizing the A broadcasts over two panels restores FMA-bound
+// throughput. The first panel must be full width; the second may be partial.
+void micro_kernel_x2(std::int64_t kc, const float* ap, const float* bp0,
+                     const float* bp1, float* c, std::int64_t ldc,
+                     std::int64_t mr, std::int64_t nr1, bool load_c,
+                     const float* bias, bool relu) {
+    Vf x0{}, x1{}, x2{}, x3{}, x4{}, x5{}, x6{}, x7{};
+    Vf y0{}, y1{}, y2{}, y3{}, y4{}, y5{}, y6{}, y7{};
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const float* arow = ap + p * kMr;
+        const Vf b0 = load_vf(bp0 + p * kNr);
+        const Vf b1 = load_vf(bp1 + p * kNr);
+        x0 += arow[0] * b0;
+        y0 += arow[0] * b1;
+        x1 += arow[1] * b0;
+        y1 += arow[1] * b1;
+        x2 += arow[2] * b0;
+        y2 += arow[2] * b1;
+        x3 += arow[3] * b0;
+        y3 += arow[3] * b1;
+        x4 += arow[4] * b0;
+        y4 += arow[4] * b1;
+        x5 += arow[5] * b0;
+        y5 += arow[5] * b1;
+        x6 += arow[6] * b0;
+        y6 += arow[6] * b1;
+        x7 += arow[7] * b0;
+        y7 += arow[7] * b1;
+    }
+    const Vf acc0[kMr] = {x0, x1, x2, x3, x4, x5, x6, x7};
+    const Vf acc1[kMr] = {y0, y1, y2, y3, y4, y5, y6, y7};
+    store_panel(acc0, c, ldc, mr, kNr, load_c, bias, relu);
+    store_panel(acc1, c + kNr, ldc, mr, nr1, load_c, bias, relu);
+}
+
+// Single-panel kernel with the same fused store semantics.
+void micro_kernel_f(std::int64_t kc, const float* ap, const float* bp,
+                    float* c, std::int64_t ldc, std::int64_t mr,
+                    std::int64_t nr, bool load_c, const float* bias,
+                    bool relu) {
+    Vf a0{}, a1{}, a2{}, a3{}, a4{}, a5{}, a6{}, a7{};
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const float* arow = ap + p * kMr;
+        const Vf bv = load_vf(bp + p * kNr);
+        a0 += arow[0] * bv;
+        a1 += arow[1] * bv;
+        a2 += arow[2] * bv;
+        a3 += arow[3] * bv;
+        a4 += arow[4] * bv;
+        a5 += arow[5] * bv;
+        a6 += arow[6] * bv;
+        a7 += arow[7] * bv;
+    }
+    const Vf acc[kMr] = {a0, a1, a2, a3, a4, a5, a6, a7};
+    store_panel(acc, c, ldc, mr, nr, load_c, bias, relu);
+}
 #else
 void micro_kernel(std::int64_t kc, float alpha, const float* ap,
                   const float* bp, float* c, std::int64_t ldc, std::int64_t mr,
@@ -128,6 +225,38 @@ void micro_kernel(std::int64_t kc, float alpha, const float* ap,
         float* cr = c + r * ldc;
         for (std::int64_t j = 0; j < nr; ++j) cr[j] += alpha * acc[r][j];
     }
+}
+
+void micro_kernel_f(std::int64_t kc, const float* ap, const float* bp,
+                    float* c, std::int64_t ldc, std::int64_t mr,
+                    std::int64_t nr, bool load_c, const float* bias,
+                    bool relu) {
+    float acc[kMr][kNr] = {};
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const float* arow = ap + p * kMr;
+        const float* brow = bp + p * kNr;
+        for (std::int64_t r = 0; r < kMr; ++r) {
+            const float av = arow[r];
+            for (std::int64_t j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+        }
+    }
+    for (std::int64_t r = 0; r < mr; ++r) {
+        float* cr = c + r * ldc;
+        const float add = bias ? bias[r] : 0.0f;
+        for (std::int64_t j = 0; j < nr; ++j) {
+            float v = acc[r][j] + add + (load_c ? cr[j] : 0.0f);
+            if (relu && v < 0.0f) v = 0.0f;
+            cr[j] = v;
+        }
+    }
+}
+
+void micro_kernel_x2(std::int64_t kc, const float* ap, const float* bp0,
+                     const float* bp1, float* c, std::int64_t ldc,
+                     std::int64_t mr, std::int64_t nr1, bool load_c,
+                     const float* bias, bool relu) {
+    micro_kernel_f(kc, ap, bp0, c, ldc, mr, kNr, load_c, bias, relu);
+    micro_kernel_f(kc, ap, bp1, c + kNr, ldc, mr, nr1, load_c, bias, relu);
 }
 #endif
 
@@ -275,10 +404,166 @@ void gemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
     gemm_impl(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, false);
 }
 
+void gemm_pack_a(std::int64_t m, std::int64_t k, const float* a,
+                 std::int64_t lda, PackedGemmA& out) {
+    out.m = m;
+    out.k = k;
+    // Density decided once per pack instead of once per multiply; a pruned
+    // weight matrix keeps the zero-skip multiply and needs no panels.
+    out.sparse = m * k > (1 << 10) && a_is_sparse(m, k, a, lda);
+    if (out.sparse) {
+        out.panels.clear();
+        return;
+    }
+    const std::int64_t row_panels = (m + kMr - 1) / kMr;
+    out.panels.resize(static_cast<std::size_t>(row_panels * kMr * k));
+    // Block layout matches the multiply loop: consecutive k-blocks, each
+    // holding every row panel for that k range.
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+        const std::int64_t k1 = std::min(k, pc + kKc);
+        pack_a_into(a, lda, 0, m, pc, k1,
+                    out.panels.data() + row_panels * kMr * pc);
+    }
+}
+
+void gemm_prepacked_serial(const PackedGemmA& pa, const float* a_raw,
+                           std::int64_t lda, std::int64_t n, float alpha,
+                           const float* b, std::int64_t ldb, float beta,
+                           float* c, std::int64_t ldc) {
+    const std::int64_t m = pa.m, k = pa.k;
+    if (m <= 0 || n <= 0) return;
+    scale_c_rows(0, m, n, beta, c, ldc);
+    if (k <= 0 || alpha == 0.0f) return;
+    if (pa.sparse) {
+        gemm_rows_sparse(0, m, n, k, alpha, a_raw, lda, b, ldb, c, ldc);
+        return;
+    }
+    std::vector<float>& bbuf = tls_buffers().b;
+    const std::int64_t row_panels = (m + kMr - 1) / kMr;
+    for (std::int64_t jc = 0; jc < n; jc += kNc) {
+        const std::int64_t j1 = std::min(n, jc + kNc);
+        const std::int64_t n_panels = (j1 - jc + kNr - 1) / kNr;
+        for (std::int64_t pc = 0; pc < k; pc += kKc) {
+            const std::int64_t k1 = std::min(k, pc + kKc);
+            const std::int64_t kc = k1 - pc;
+            pack_b(b, ldb, pc, k1, jc, j1, bbuf);
+            const float* apacked = pa.panels.data() + row_panels * kMr * pc;
+            for (std::int64_t ip = 0; ip < row_panels; ++ip) {
+                const std::int64_t ib = ip * kMr;
+                const std::int64_t mr = std::min(kMr, m - ib);
+                const float* ap = apacked + ip * kc * kMr;
+                for (std::int64_t jp = 0; jp < n_panels; ++jp) {
+                    const std::int64_t jb = jc + jp * kNr;
+                    const std::int64_t nr = std::min(kNr, j1 - jb);
+                    micro_kernel(kc, alpha, ap, bbuf.data() + jp * kc * kNr,
+                                 c + ib * ldc + jb, ldc, mr, nr);
+                }
+            }
+        }
+    }
+}
+
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
           const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
           float beta, float* c, std::int64_t ldc) {
     gemm_impl(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, true);
+}
+
+void gemm_prepacked_tiles(const PackedGemmA& pa, const float* a_raw,
+                          std::int64_t lda, const float* packed_b,
+                          std::int64_t n, float* c, std::int64_t ldc,
+                          const float* bias, bool relu, std::int64_t tile_lo,
+                          std::int64_t tile_hi) {
+    const std::int64_t m = pa.m, k = pa.k;
+    const std::int64_t row_panels = (m + kMr - 1) / kMr;
+    const std::int64_t block_panels = kNc / kNr;  // panels per full n-block
+    for (std::int64_t t = tile_lo; t < tile_hi; ++t) {
+        const std::int64_t nb = t / row_panels;  // n-block index
+        const std::int64_t ip = t % row_panels;  // row-panel index
+        const std::int64_t jc = nb * kNc;
+        const std::int64_t j1 = std::min(n, jc + kNc);
+        const std::int64_t ib = ip * kMr;
+        const std::int64_t i_hi = std::min(m, ib + kMr);
+        const std::int64_t mr = i_hi - ib;
+        const std::int64_t blk_panels = (j1 - jc + kNr - 1) / kNr;
+        // The n-block's packed region: full blocks before it hold
+        // block_panels panels each, k rows, kNr lanes.
+        const float* bblock = packed_b + nb * block_panels * k * kNr;
+
+        if (pa.sparse) {
+            // Zero-skip kernel over packed panels: pays only for non-zero
+            // weights (pruned layers).
+            for (std::int64_t i = ib; i < i_hi; ++i)
+                std::fill(c + i * ldc + jc, c + i * ldc + j1, 0.0f);
+            for (std::int64_t pc = 0; pc < k; pc += kKc) {
+                const std::int64_t k1 = std::min(k, pc + kKc);
+                const std::int64_t kc = k1 - pc;
+                const float* bsub = bblock + blk_panels * pc * kNr;
+                for (std::int64_t i = ib; i < i_hi; ++i) {
+                    const float* ai = a_raw + i * lda;
+                    float* ci = c + i * ldc + jc;
+                    for (std::int64_t p = pc; p < k1; ++p) {
+                        const float aip = ai[p];
+                        if (aip == 0.0f) continue;
+                        const float* brow = bsub + (p - pc) * kNr;
+                        for (std::int64_t jp = 0; jp < blk_panels; ++jp) {
+                            const float* bp = brow + jp * kc * kNr;
+                            float* cp = ci + jp * kNr;
+                            const std::int64_t nr =
+                                std::min(kNr, j1 - jc - jp * kNr);
+                            for (std::int64_t l = 0; l < nr; ++l)
+                                cp[l] += aip * bp[l];
+                        }
+                    }
+                }
+            }
+            if (bias != nullptr || relu) {
+                for (std::int64_t i = ib; i < i_hi; ++i) {
+                    const float add = bias ? bias[i] : 0.0f;
+                    float* ci = c + i * ldc;
+                    if (relu) {
+                        for (std::int64_t j = jc; j < j1; ++j)
+                            ci[j] = std::max(ci[j] + add, 0.0f);
+                    } else {
+                        for (std::int64_t j = jc; j < j1; ++j) ci[j] += add;
+                    }
+                }
+            }
+            continue;
+        }
+
+        for (std::int64_t pc = 0; pc < k; pc += kKc) {
+            const std::int64_t k1 = std::min(k, pc + kKc);
+            const std::int64_t kc = k1 - pc;
+            // Sub-block for this k range: previous k-blocks hold
+            // blk_panels · kc' · kNr floats, and Σ kc' = pc.
+            const float* bsub = bblock + blk_panels * pc * kNr;
+            // Fused store semantics: the first k-block stores (no C read or
+            // zeroing pass), later blocks accumulate, and the last applies
+            // bias/ReLU — C is touched exactly once per k-block.
+            const bool load_c = pc != 0;
+            const bool last = k1 == k;
+            const float* bias_row = (last && bias) ? bias + ib : nullptr;
+            const bool relu_here = last && relu;
+            const float* ap =
+                pa.panels.data() + row_panels * kMr * pc + ip * kc * kMr;
+            std::int64_t jp = 0;
+            for (; jp + 1 < blk_panels; jp += 2) {
+                const std::int64_t jb = jc + jp * kNr;
+                const std::int64_t nr1 = std::min(kNr, j1 - jb - kNr);
+                micro_kernel_x2(kc, ap, bsub + jp * kc * kNr,
+                                bsub + (jp + 1) * kc * kNr, c + ib * ldc + jb,
+                                ldc, mr, nr1, load_c, bias_row, relu_here);
+            }
+            if (jp < blk_panels) {
+                const std::int64_t jb = jc + jp * kNr;
+                const std::int64_t nr = std::min(kNr, j1 - jb);
+                micro_kernel_f(kc, ap, bsub + jp * kc * kNr,
+                               c + ib * ldc + jb, ldc, mr, nr, load_c,
+                               bias_row, relu_here);
+            }
+        }
+    }
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

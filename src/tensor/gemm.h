@@ -19,6 +19,69 @@ void gemm_serial(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                  const float* a, std::int64_t lda, const float* b,
                  std::int64_t ldb, float beta, float* c, std::int64_t ldc);
 
+// Reusable packed-A operand for repeated GEMMs against one left-hand matrix.
+// The inference engine packs each conv layer's folded weights once per
+// refresh and runs the whole batch through them as one tiled GEMM
+// (gemm_prepacked_tiles, DESIGN.md §6) — the per-call sparsity scan and
+// A-packing of gemm() disappear from the batch loop. A row-sparse matrix
+// (pruned weights) is detected at pack time and multiplied through the
+// zero-skip path instead of packed panels.
+struct PackedGemmA {
+    std::int64_t m = 0, k = 0;
+    bool sparse = false;        // use the raw matrix via the zero-skip path
+    std::vector<float> panels;  // (k-block × row-panel) layout when !sparse
+};
+
+// Analyze and pack A (m × k, leading dimension lda); reuses storage.
+void gemm_pack_a(std::int64_t m, std::int64_t k, const float* a,
+                 std::int64_t lda, PackedGemmA& out);
+
+// C (m×n) = alpha·A·B + beta·C with A prepacked by gemm_pack_a: the
+// single-shot form of the prepacked family (the engine's conv path uses
+// gemm_prepacked_tiles below; the tests pin the two against each other).
+// Serial — safe inside pool workers. `a_raw`/`lda` must describe the matrix
+// that was packed (the sparse path reads it directly).
+void gemm_prepacked_serial(const PackedGemmA& pa, const float* a_raw,
+                           std::int64_t lda, std::int64_t n, float alpha,
+                           const float* b, std::int64_t ldb, float beta,
+                           float* c, std::int64_t ldc);
+
+// ---- fully-prepacked tiled GEMM (the inference engine's conv path) ----
+//
+// B lives in the packed panel-block layout that im2col_pack_b emits
+// directly (no separate pack_b pass): for each kNc-wide n-block, for each
+// kKc-deep k-block, kNr-wide column panels, k-major inside a panel,
+// zero-padded to kNr. The panel geometry is shared with tensor/im2col.cpp.
+constexpr std::int64_t kPackMr = 8;     // row-panel height (micro-kernel)
+constexpr std::int64_t kPackNr = 16;    // column-panel width
+constexpr std::int64_t kPackKc = 256;   // k-block depth
+constexpr std::int64_t kPackNc = 1024;  // n-block width
+
+// Number of kNr-wide column panels of an n-column packed B.
+inline std::int64_t packed_b_panels(std::int64_t n) {
+    return (n + kPackNr - 1) / kPackNr;
+}
+// Total floats of a packed (k × n) B.
+inline std::int64_t packed_b_size(std::int64_t k, std::int64_t n) {
+    return packed_b_panels(n) * k * kPackNr;
+}
+// Tiles of the (row-panel × n-block) grid gemm_prepacked_tiles walks.
+inline std::int64_t gemm_tile_count(std::int64_t m, std::int64_t n) {
+    return ((m + kPackMr - 1) / kPackMr) * ((n + kPackNc - 1) / kPackNc);
+}
+
+// C (m×n) = A·B for the tile range [tile_lo, tile_hi), with an optional
+// fused per-row bias (+ ReLU) epilogue applied while the tile is cache-hot.
+// Tiles write disjoint C regions, so callers parallelize by splitting the
+// tile range across workers. beta = 0 semantics (C is overwritten). A
+// row-sparse A (pruned weights) runs a zero-skip kernel over the same
+// packed B.
+void gemm_prepacked_tiles(const PackedGemmA& pa, const float* a_raw,
+                          std::int64_t lda, const float* packed_b,
+                          std::int64_t n, float* c, std::int64_t ldc,
+                          const float* bias, bool relu, std::int64_t tile_lo,
+                          std::int64_t tile_hi);
+
 // Convenience wrappers on rank-2 tensors.
 Tensor matmul(const Tensor& a, const Tensor& b);            // A·B
 Tensor matmul_tn(const Tensor& a, const Tensor& b);         // Aᵀ·B

@@ -1,5 +1,8 @@
 #include "tensor/im2col.h"
 
+#include "tensor/gemm.h"
+
+#include <algorithm>
 #include <cstring>
 
 namespace xs::tensor {
@@ -17,6 +20,19 @@ void im2col(const float* x, std::int64_t channels, std::int64_t height,
         for (std::int64_t ki = 0; ki < kh; ++ki) {
             for (std::int64_t kj = 0; kj < kw; ++kj, ++row) {
                 float* out_row = col + row * out_hw;
+                // At stride 1 the interior of each output row is a contiguous
+                // slice of the input row: memcpy it and zero only the padded
+                // edges (the common 3×3/pad-1 conv shape hits this path).
+                // Both bounds clamp into [0, out_w]: a kernel wider than
+                // width+pad can push the raw lo past the row or hi negative.
+                const std::int64_t lo =
+                    stride == 1
+                        ? std::min(out_w, std::max<std::int64_t>(0, pad - kj))
+                        : 0;
+                const std::int64_t hi =
+                    stride == 1
+                        ? std::max(lo, std::min(out_w, width + pad - kj))
+                        : 0;
                 for (std::int64_t oi = 0; oi < out_h; ++oi) {
                     const std::int64_t ii = oi * stride - pad + ki;
                     if (ii < 0 || ii >= height) {
@@ -26,10 +42,155 @@ void im2col(const float* x, std::int64_t channels, std::int64_t height,
                     }
                     const float* xrow = xc + ii * width;
                     float* orow = out_row + oi * out_w;
+                    if (stride == 1) {
+                        if (lo > 0)
+                            std::memset(orow, 0,
+                                        static_cast<std::size_t>(lo) * sizeof(float));
+                        if (hi > lo)
+                            std::memcpy(orow + lo, xrow + lo - pad + kj,
+                                        static_cast<std::size_t>(hi - lo) *
+                                            sizeof(float));
+                        if (out_w > hi)
+                            std::memset(orow + hi, 0,
+                                        static_cast<std::size_t>(out_w - hi) *
+                                            sizeof(float));
+                        continue;
+                    }
                     for (std::int64_t oj = 0; oj < out_w; ++oj) {
                         const std::int64_t jj = oj * stride - pad + kj;
                         orow[oj] = (jj >= 0 && jj < width) ? xrow[jj] : 0.0f;
                     }
+                }
+            }
+        }
+    }
+}
+
+void im2col_pack_b(const float* x, std::int64_t n_imgs, std::int64_t channels,
+                   std::int64_t height, std::int64_t width,
+                   std::int64_t stride_img, std::int64_t stride_c,
+                   std::int64_t kh, std::int64_t kw, std::int64_t stride,
+                   std::int64_t pad, float* packed, std::int64_t panel_lo,
+                   std::int64_t panel_hi) {
+    const std::int64_t out_h = conv_out_size(height, kh, stride, pad);
+    const std::int64_t out_w = conv_out_size(width, kw, stride, pad);
+    const std::int64_t out_hw = out_h * out_w;
+    const std::int64_t n_cols = n_imgs * out_hw;
+    const std::int64_t k = channels * kh * kw;
+    const std::int64_t total_panels = packed_b_panels(n_cols);
+    const std::int64_t block_panels = kPackNc / kPackNr;  // panels per n-block
+    // One past the last input float — bound for the over-copy fast path.
+    const float* const x_limit = x + (n_imgs - 1) * stride_img +
+                                 (channels - 1) * stride_c + height * width;
+
+    // A panel's lane → (image, output row, output col) decomposition is
+    // independent of the patch row, so it is segmented into same-image
+    // same-output-row runs ONCE per panel; the patch-row sweep then only
+    // shifts each run by (ki, kj) — no divisions in the hot loop.
+    struct Run {
+        std::int64_t lane, len, oi, oj;
+        const float* img_base;  // input image origin (channel 0)
+    };
+
+    for (std::int64_t g = panel_lo; g < panel_hi; ++g) {
+        const std::int64_t nb = g / block_panels;       // n-block index
+        const std::int64_t jp = g - nb * block_panels;  // panel within block
+        const std::int64_t jb = g * kPackNr;            // first global column
+        const std::int64_t blk_panels =
+            std::min(block_panels, total_panels - nb * block_panels);
+        float* const block = packed + nb * block_panels * k * kPackNr;
+
+        Run runs[kPackNr];
+        std::int64_t n_runs = 0;
+        std::int64_t lane = 0;
+        while (lane < kPackNr && jb + lane < n_cols) {
+            const std::int64_t j = jb + lane;
+            const std::int64_t img = j / out_hw;
+            const std::int64_t pos = j - img * out_hw;
+            const std::int64_t oi = pos / out_w;
+            const std::int64_t oj = pos - oi * out_w;
+            const std::int64_t len =
+                std::min({kPackNr - lane, out_w - oj, n_cols - j});
+            runs[n_runs++] = Run{lane, len, oi, oj, x + img * stride_img};
+            lane += len;
+        }
+        const std::int64_t lane_end = lane;  // zero tail beyond this
+
+        std::int64_t p = 0;  // row index (c, ki, kj)
+        std::int64_t pc = 0, kc = std::min(kPackKc, k);
+        float* dst =
+            block + jp * kc * kPackNr;  // row p's 16 lanes; advances by kNr
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const std::int64_t c_off = c * stride_c;
+            for (std::int64_t ki = 0; ki < kh; ++ki) {
+                for (std::int64_t kj = 0; kj < kw; ++kj, ++p) {
+                    if (p == pc + kc) {  // entered the next k-block
+                        pc += kc;
+                        kc = std::min(kPackKc, k - pc);
+                        dst = block + blk_panels * pc * kPackNr +
+                              jp * kc * kPackNr;
+                    }
+                    for (std::int64_t r = 0; r < n_runs; ++r) {
+                        const Run& run = runs[r];
+                        float* out = dst + run.lane;
+                        const std::int64_t ii = run.oi * stride - pad + ki;
+                        if (ii < 0 || ii >= height) {
+                            for (std::int64_t i = 0; i < run.len; ++i)
+                                out[i] = 0.0f;
+                            continue;
+                        }
+                        const float* xrow =
+                            run.img_base + c_off + ii * width;
+                        if (stride == 1) {
+                            const std::int64_t jj0 = run.oj - pad + kj;
+                            // Full-width interior run: fixed-size copy the
+                            // compiler lowers to two vector moves (the
+                            // dominant case away from the padded borders).
+                            if (run.len == kPackNr && jj0 >= 0 &&
+                                jj0 + kPackNr <= width) {
+                                std::memcpy(out, xrow + jj0,
+                                            kPackNr * sizeof(float));
+                                continue;
+                            }
+                            // Valid input span within [jj0, jj0 + len).
+                            const std::int64_t lo =
+                                std::min(run.len,
+                                         std::max<std::int64_t>(0, -jj0));
+                            const std::int64_t hi = std::max(
+                                lo, std::min(run.len, width - jj0));
+                            // Short interior run (small spatial maps): copy
+                            // a full fixed-size vector and let the lanes
+                            // beyond the run be overwritten by the runs and
+                            // rows that follow. Illegal only on the last row
+                            // of a k-sub-block (the overrun would cross into
+                            // another worker's panel) or past the input.
+                            if (lo == 0 && hi == run.len &&
+                                p - pc < kc - 1 &&
+                                xrow + jj0 + kPackNr <= x_limit) {
+                                std::memcpy(out, xrow + jj0,
+                                            kPackNr * sizeof(float));
+                                continue;
+                            }
+                            for (std::int64_t i = 0; i < lo; ++i)
+                                out[i] = 0.0f;
+                            if (hi > lo)
+                                std::memcpy(out + lo, xrow + jj0 + lo,
+                                            static_cast<std::size_t>(hi - lo) *
+                                                sizeof(float));
+                            for (std::int64_t i = hi; i < run.len; ++i)
+                                out[i] = 0.0f;
+                        } else {
+                            for (std::int64_t i = 0; i < run.len; ++i) {
+                                const std::int64_t jj =
+                                    (run.oj + i) * stride - pad + kj;
+                                out[i] = (jj >= 0 && jj < width) ? xrow[jj]
+                                                                 : 0.0f;
+                            }
+                        }
+                    }
+                    for (std::int64_t l = lane_end; l < kPackNr; ++l)
+                        dst[l] = 0.0f;
+                    dst += kPackNr;
                 }
             }
         }

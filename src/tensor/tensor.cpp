@@ -19,7 +19,10 @@ std::string shape_to_string(const Shape& shape) {
 std::int64_t shape_numel(const Shape& shape) {
     std::int64_t n = 1;
     for (const auto d : shape) {
-        check(d >= 0, "negative dimension in shape " + shape_to_string(shape));
+        // Build the message lazily: this runs on every Tensor construction
+        // and every arena reset, which must stay allocation-free.
+        if (d < 0)
+            check(false, "negative dimension in shape " + shape_to_string(shape));
         n *= d;
     }
     return n;
@@ -39,6 +42,31 @@ Tensor Tensor::reshaped(Shape new_shape) const {
     Tensor out = *this;
     out.shape_ = std::move(new_shape);
     return out;
+}
+
+void Tensor::reset(const Shape& new_shape) {
+    shape_ = new_shape;  // vector assign reuses capacity once warmed up
+    data_.resize(static_cast<std::size_t>(shape_numel(shape_)));
+}
+
+void Tensor::reset(std::int64_t d0, std::int64_t d1) {
+    shape_.resize(2);
+    shape_[0] = d0;
+    shape_[1] = d1;
+    check(d0 >= 0 && d1 >= 0, "Tensor::reset: negative dimension");
+    data_.resize(static_cast<std::size_t>(d0 * d1));
+}
+
+void Tensor::reset(std::int64_t d0, std::int64_t d1, std::int64_t d2,
+                   std::int64_t d3) {
+    shape_.resize(4);
+    shape_[0] = d0;
+    shape_[1] = d1;
+    shape_[2] = d2;
+    shape_[3] = d3;
+    check(d0 >= 0 && d1 >= 0 && d2 >= 0 && d3 >= 0,
+          "Tensor::reset: negative dimension");
+    data_.resize(static_cast<std::size_t>(d0 * d1 * d2 * d3));
 }
 
 float& Tensor::at(std::int64_t i, std::int64_t j) {

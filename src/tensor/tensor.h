@@ -36,6 +36,17 @@ public:
     // Metadata-only reshape; the element count must match.
     Tensor reshaped(Shape new_shape) const;
 
+    // In-place reshape/resize that reuses the existing storage: sets the
+    // shape and resizes the buffer, never shrinking capacity. Elements below
+    // the new size are preserved; any grown tail is zero. This is the
+    // zero-allocation steady-state primitive behind the inference arenas and
+    // im2col scratch (DESIGN.md §6) — after a warm-up pass every reset fits
+    // in capacity and performs no heap allocation.
+    void reset(const Shape& new_shape);
+    void reset(std::int64_t d0, std::int64_t d1);
+    void reset(std::int64_t d0, std::int64_t d1, std::int64_t d2,
+               std::int64_t d3);
+
     // ---- element access ----
     float* data() { return data_.data(); }
     const float* data() const { return data_.data(); }

@@ -15,6 +15,7 @@ namespace {
 thread_local bool tl_in_parallel_region = false;
 
 using ChunkFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+using RawFn = WorkerRangeFn;
 
 // A tiny persistent pool: workers wait on a condition variable for a chunked
 // task, execute their share, and signal completion. One pool per process.
@@ -41,11 +42,14 @@ public:
 
     std::size_t count() const { return count_; }
 
-    void run(std::size_t begin, std::size_t end, const ChunkFn& fn) {
+    // Core dispatch: a raw function pointer + context, so the hot path
+    // (steady-state inference, the tile loop) allocates nothing. The
+    // std::function overload below wraps itself in a trampoline.
+    void run(std::size_t begin, std::size_t end, RawFn fn, void* ctx) {
         const std::size_t total = end - begin;
         if (total == 0) return;
         if (count_ == 1 || tl_in_parallel_region) {
-            fn(0, begin, end);
+            fn(ctx, 0, begin, end);
             return;
         }
         // Serialize concurrent top-level dispatches from distinct threads:
@@ -54,13 +58,14 @@ public:
         std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
         const std::size_t parts = std::min(count_, total);
         if (parts == 1) {
-            fn(0, begin, end);
+            fn(ctx, 0, begin, end);
             return;
         }
         tl_in_parallel_region = true;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            task_ = &fn;
+            task_ = fn;
+            task_ctx_ = ctx;
             task_begin_ = begin;
             task_end_ = end;
             task_parts_ = parts;
@@ -69,7 +74,7 @@ public:
             ++generation_;
         }
         cv_.notify_all();
-        run_part(0, begin, end, parts, fn);
+        run_part(0, begin, end, parts, fn, ctx);
         {
             std::unique_lock<std::mutex> lock(mutex_);
             done_cv_.wait(lock, [this] { return pending_ == 0; });
@@ -78,21 +83,30 @@ public:
         tl_in_parallel_region = false;
     }
 
+    void run(std::size_t begin, std::size_t end, const ChunkFn& fn) {
+        run(begin, end,
+            [](void* ctx, std::size_t part, std::size_t lo, std::size_t hi) {
+                (*static_cast<const ChunkFn*>(ctx))(part, lo, hi);
+            },
+            const_cast<void*>(static_cast<const void*>(&fn)));
+    }
+
 private:
     static void run_part(std::size_t part, std::size_t begin, std::size_t end,
-                         std::size_t parts, const ChunkFn& fn) {
+                         std::size_t parts, RawFn fn, void* ctx) {
         const std::size_t total = end - begin;
         const std::size_t chunk = (total + parts - 1) / parts;
         const std::size_t lo = begin + part * chunk;
         const std::size_t hi = std::min(end, lo + chunk);
-        if (lo < hi) fn(part, lo, hi);
+        if (lo < hi) fn(ctx, part, lo, hi);
     }
 
     void worker_loop(std::size_t) {
         tl_in_parallel_region = true;  // workers never re-dispatch to the pool
         std::uint64_t seen_generation = 0;
         while (true) {
-            const ChunkFn* fn = nullptr;
+            RawFn fn = nullptr;
+            void* ctx = nullptr;
             std::size_t part = 0, begin = 0, end = 0, parts = 0;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
@@ -103,13 +117,14 @@ private:
                 });
                 if (shutdown_) return;
                 fn = task_;
+                ctx = task_ctx_;
                 part = next_part_++;
                 begin = task_begin_;
                 end = task_end_;
                 parts = task_parts_;
                 if (next_part_ >= task_parts_) seen_generation = generation_;
             }
-            run_part(part, begin, end, parts, *fn);
+            run_part(part, begin, end, parts, fn, ctx);
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 if (--pending_ == 0) done_cv_.notify_all();
@@ -124,7 +139,8 @@ private:
     std::mutex mutex_;
     std::condition_variable cv_;
     std::condition_variable done_cv_;
-    const ChunkFn* task_ = nullptr;
+    RawFn task_ = nullptr;
+    void* task_ctx_ = nullptr;
     std::size_t task_begin_ = 0, task_end_ = 0, task_parts_ = 0, next_part_ = 0;
     std::size_t pending_ = 0;
     std::uint64_t generation_ = 0;
@@ -159,6 +175,11 @@ void parallel_for_workers(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
     pool().run(begin, end, fn);
+}
+
+void parallel_for_workers(std::size_t begin, std::size_t end, WorkerRangeFn fn,
+                          void* ctx) {
+    pool().run(begin, end, fn, ctx);
 }
 
 }  // namespace xs::util

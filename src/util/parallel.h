@@ -36,4 +36,13 @@ void parallel_for_workers(
     const std::function<void(std::size_t worker, std::size_t chunk_begin,
                              std::size_t chunk_end)>& fn);
 
+// Allocation-free dispatch: a plain function pointer plus an opaque context,
+// so repeated dispatches construct no std::function and perform no heap
+// allocation. This is the primitive the inference engine's steady-state
+// batch loop uses (DESIGN.md §6); the std::function overloads above wrap it.
+using WorkerRangeFn = void (*)(void* ctx, std::size_t worker,
+                               std::size_t chunk_begin, std::size_t chunk_end);
+void parallel_for_workers(std::size_t begin, std::size_t end, WorkerRangeFn fn,
+                          void* ctx);
+
 }  // namespace xs::util

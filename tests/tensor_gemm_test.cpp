@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <vector>
 
 namespace xs::tensor {
 namespace {
@@ -135,6 +137,99 @@ TEST(Gemm, ZeroInnerDimension) {
     Tensor c({2, 2}, 5.0f);
     gemm(2, 2, 0, 1.0f, nullptr, 1, nullptr, 1, 0.0f, c.data(), 2);
     for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], 0.0f);
+}
+
+TEST(GemmPrepacked, SerialMatchesReference) {
+    // Odd sizes exercise panel tails in both dimensions and multiple
+    // k-blocks (k > kPackKc).
+    for (const auto [m, n, k] : {std::tuple{16, 64, 27}, {33, 100, 300},
+                                 {8, 16, 512}, {128, 4, 1152}}) {
+        util::Rng rng(static_cast<std::uint64_t>(m + n + k));
+        Tensor a({m, k}), b({k, n});
+        fill_normal(a, rng, 0.0f, 1.0f);
+        fill_normal(b, rng, 0.0f, 1.0f);
+        PackedGemmA pa;
+        gemm_pack_a(m, k, a.data(), k, pa);
+        EXPECT_FALSE(pa.sparse);
+        Tensor c({m, n});
+        gemm_prepacked_serial(pa, a.data(), k, n, 1.0f, b.data(), n, 0.0f,
+                              c.data(), n);
+        const Tensor r = ref_matmul(a, b);
+        EXPECT_TRUE(allclose(c, r, 1e-3f, 1e-3f))
+            << m << "x" << n << "x" << k << " max diff " << max_abs_diff(c, r);
+    }
+}
+
+TEST(GemmPrepacked, SparseAUsesZeroSkipAndMatches) {
+    util::Rng rng(21);
+    Tensor a({48, 96}), b({96, 40});
+    fill_normal(a, rng, 0.0f, 1.0f);
+    fill_normal(b, rng, 0.0f, 1.0f);
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        if (rng.uniform() < 0.9) a[i] = 0.0f;
+    PackedGemmA pa;
+    gemm_pack_a(48, 96, a.data(), 96, pa);
+    EXPECT_TRUE(pa.sparse);
+    Tensor c({48, 40});
+    gemm_prepacked_serial(pa, a.data(), 96, 40, 1.0f, b.data(), 40, 0.0f,
+                          c.data(), 40);
+    const Tensor r = ref_matmul(a, b);
+    EXPECT_TRUE(allclose(c, r, 1e-3f, 1e-3f));
+}
+
+// Pack B by hand into the panel-block layout (same as im2col_pack_b's
+// output) and run the tiled kernel with the fused bias+ReLU epilogue.
+void pack_b_reference(const Tensor& b, std::int64_t k, std::int64_t n,
+                      std::vector<float>& packed) {
+    packed.assign(static_cast<std::size_t>(packed_b_size(k, n)), 0.0f);
+    const std::int64_t block_panels = kPackNc / kPackNr;
+    for (std::int64_t g = 0; g < packed_b_panels(n); ++g) {
+        const std::int64_t nb = g / block_panels;
+        const std::int64_t jp = g - nb * block_panels;
+        const std::int64_t blk_panels =
+            std::min(block_panels, packed_b_panels(n) - nb * block_panels);
+        float* block = packed.data() + nb * block_panels * k * kPackNr;
+        for (std::int64_t p = 0; p < k; ++p) {
+            const std::int64_t pc = (p / kPackKc) * kPackKc;
+            const std::int64_t kc = std::min(kPackKc, k - pc);
+            float* dst = block + blk_panels * pc * kPackNr +
+                         jp * kc * kPackNr + (p - pc) * kPackNr;
+            for (std::int64_t l = 0; l < kPackNr; ++l) {
+                const std::int64_t j = g * kPackNr + l;
+                dst[l] = j < n ? b.at(p, j) : 0.0f;
+            }
+        }
+    }
+}
+
+TEST(GemmPrepacked, TilesWithFusedEpilogueMatchReference) {
+    for (const bool sparse : {false, true}) {
+        const std::int64_t m = 24, n = 1100, k = 280;  // spans block tails
+        util::Rng rng(sparse ? 31u : 32u);
+        Tensor a({m, k}), b({k, n}), bias({m});
+        fill_normal(a, rng, 0.0f, 1.0f);
+        fill_normal(b, rng, 0.0f, 1.0f);
+        fill_normal(bias, rng, 0.0f, 1.0f);
+        if (sparse)
+            for (std::int64_t i = 0; i < a.numel(); ++i)
+                if (rng.uniform() < 0.9) a[i] = 0.0f;
+        PackedGemmA pa;
+        gemm_pack_a(m, k, a.data(), k, pa);
+        EXPECT_EQ(pa.sparse, sparse);
+        std::vector<float> packed;
+        pack_b_reference(b, k, n, packed);
+        Tensor c({m, n});
+        gemm_prepacked_tiles(pa, a.data(), k, packed.data(), n, c.data(), n,
+                             bias.data(), /*relu=*/true, 0,
+                             gemm_tile_count(m, n));
+        Tensor r = ref_matmul(a, b);
+        for (std::int64_t i = 0; i < m; ++i)
+            for (std::int64_t j = 0; j < n; ++j)
+                r.at(i, j) = std::max(r.at(i, j) + bias[i], 0.0f);
+        EXPECT_TRUE(allclose(c, r, 1e-3f, 1e-3f))
+            << (sparse ? "sparse" : "dense") << " max diff "
+            << max_abs_diff(c, r);
+    }
 }
 
 }  // namespace
