@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fail when any micro-benchmark got slower than the
+recorded baseline by more than the tolerance.
+
+Usage:
+    check_regression.py CURRENT.json [CURRENT2.json ...] --baseline BASELINE.json
+                        [--tolerance PCT] [--metric cpu_time|real_time]
+
+Each CURRENT.json is a google-benchmark JSON report of the build under test;
+several reports combine by per-benchmark minimum, which is how ci.sh retries
+a failing gate: rerunning the suite and re-gating on the min of all runs
+rejects transient machine noise while a real regression stays slow in every
+run.
+BASELINE.json records the expected current performance (bench/
+BENCH_micro.baseline.json, regenerated on the reference machine whenever a
+PR intentionally shifts performance: run bench/run_bench.sh and copy the
+matching entries, or rerun the gate command from ci.sh and copy its output
+JSON). The baseline is machine-specific — refresh it when the reference
+hardware changes.
+
+Exit status: 0 when no benchmark regresses more than the tolerance,
+1 otherwise. Benchmarks new since the baseline pass with a note; benchmarks
+missing from the current run are reported (a silently dropped benchmark
+could hide a regression) but do not fail the gate.
+"""
+
+import argparse
+import json
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path, metric):
+    """name -> time in ns; the min over 'iteration' entries (repetitions)
+    per benchmark — the noise-robust statistic for a timing gate."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        scale = UNIT_NS[b.get("time_unit", "ns")]
+        name = b["run_name"] if "run_name" in b else b["name"]
+        ns = b[metric] * scale
+        out[name] = min(out.get(name, ns), ns)
+    return out
+
+
+def fmt(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g}{unit}"
+    return f"{ns:.3g}ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", nargs="+",
+                    help="current-run reports; several combine by min")
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--tolerance", type=float, default=15.0,
+                    help="max allowed regression in percent (default 15)")
+    ap.add_argument("--metric", default="cpu_time",
+                    choices=("cpu_time", "real_time"),
+                    help="cpu_time (default; steadier on shared machines) "
+                         "or real_time")
+    args = ap.parse_args()
+
+    current = {}
+    for path in args.current:
+        for name, ns in load(path, args.metric).items():
+            current[name] = min(current.get(name, ns), ns)
+    baseline = load(args.baseline, args.metric)
+
+    regressions, improvements, new = [], [], []
+    width = max((len(n) for n in current), default=9)
+    print(f"{'benchmark':<{width}}  {'baseline':>9}  {'current':>9}  {'delta':>8}")
+    print("-" * (width + 32))
+    for name, cur in current.items():
+        base = baseline.get(name)
+        if base is None:
+            new.append(name)
+            print(f"{name:<{width}}  {'--':>9}  {fmt(cur):>9}  {'new':>8}")
+            continue
+        delta = (cur / base - 1.0) * 100.0
+        print(f"{name:<{width}}  {fmt(base):>9}  {fmt(cur):>9}  {delta:>+7.1f}%")
+        if delta > args.tolerance:
+            regressions.append((name, delta))
+        elif delta < -args.tolerance:
+            improvements.append((name, delta))
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"\nWARNING: in baseline but not measured: {', '.join(missing)}")
+    if new:
+        print(f"\nnote: new since baseline (no gate): {', '.join(new)}")
+    if improvements:
+        names = ", ".join(f"{n} ({d:+.1f}%)" for n, d in improvements)
+        print(f"note: faster than baseline — consider refreshing it: {names}")
+
+    if regressions:
+        print(f"\nFAIL: regression beyond {args.tolerance:.0f}% "
+              f"({args.metric}):", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nbench gate OK ({args.metric}, tolerance {args.tolerance:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: a Release build+test job, plus a Debug job with Address-
-# and UB-sanitizers covering the workspace/parallel code. Run from anywhere.
+# CI entry point: a Release build+test job with a bench smoke and a bench
+# regression gate, plus a Debug job with Address- and UB-sanitizers over the
+# unit-labeled tests. Both jobs compile with -Wall -Wextra -Werror
+# (XS_WERROR) and use ccache when available (the GitHub workflow caches its
+# directory). Run from anywhere.
 #
 # Usage: ci.sh [release|sanitize|all]   (default: all)
 set -euo pipefail
@@ -9,10 +12,15 @@ repo_root="$(cd "$(dirname "$0")" && pwd)"
 mode="${1:-all}"
 jobs="$(nproc)"
 
+cmake_common=(-DXS_WERROR=ON)
+if command -v ccache >/dev/null 2>&1; then
+  cmake_common+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 run_release() {
   echo "=== Release build + ctest ==="
   cmake -B "$repo_root/build-release" -S "$repo_root" \
-    -DCMAKE_BUILD_TYPE=Release
+    -DCMAKE_BUILD_TYPE=Release "${cmake_common[@]}"
   cmake --build "$repo_root/build-release" -j"$jobs"
   ctest --test-dir "$repo_root/build-release" --output-on-failure -j"$jobs"
   # Bench smoke: one-ish iteration per benchmark so the bench targets (and
@@ -20,19 +28,53 @@ run_release() {
   if [[ -x "$repo_root/build-release/bench_micro" ]]; then
     echo "=== bench smoke (min_time ~1 iteration) ==="
     "$repo_root/build-release/bench_micro" --benchmark_min_time=0.000001
+    run_bench_gate
   fi
 }
 
+# Bench regression gate: measured runs (min over 3 repetitions) diffed
+# against bench/BENCH_micro.baseline.json; any benchmark more than
+# XS_BENCH_TOLERANCE (default 15) percent slower fails the job. A failing
+# gate retries with fresh runs and re-gates on the min across all runs —
+# transient machine noise clears on retry, a real regression stays slow in
+# every run. Refresh the baseline (commit the last BENCH_gate_run*.json as
+# bench/BENCH_micro.baseline.json) when a PR intentionally shifts
+# performance or the reference machine changes.
+run_bench_gate() {
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "=== bench gate skipped (no python3) ==="
+    return 0
+  fi
+  echo "=== bench regression gate ==="
+  local runs=()
+  local attempt
+  for attempt in 1 2 3; do
+    local out="$repo_root/build-release/BENCH_gate_run$attempt.json"
+    "$repo_root/build-release/bench_micro" \
+      --benchmark_min_time=0.05 --benchmark_repetitions=3 \
+      --benchmark_out="$out" --benchmark_out_format=json >/dev/null
+    runs+=("$out")
+    if python3 "$repo_root/bench/check_regression.py" "${runs[@]}" \
+        --baseline "$repo_root/bench/BENCH_micro.baseline.json" \
+        --tolerance "${XS_BENCH_TOLERANCE:-15}"; then
+      return 0
+    fi
+    echo "--- gate attempt $attempt failed; retrying with a fresh run ---"
+  done
+  echo "bench regression gate failed after 3 attempts" >&2
+  return 1
+}
+
 run_sanitize() {
-  echo "=== Debug + ASan/UBSan build + ctest ==="
+  echo "=== Debug + ASan/UBSan build + ctest (unit label) ==="
   cmake -B "$repo_root/build-asan" -S "$repo_root" \
     -DCMAKE_BUILD_TYPE=Debug -DXS_SANITIZE=ON \
-    -DXS_BUILD_BENCH=OFF -DXS_BUILD_EXAMPLES=OFF
+    -DXS_BUILD_BENCH=OFF -DXS_BUILD_EXAMPLES=OFF "${cmake_common[@]}"
   cmake --build "$repo_root/build-asan" -j"$jobs"
-  # The integration test is minutes-long under sanitizers; everything else
-  # runs. It is fully covered by the Release job.
+  # Integration-labeled tests are minutes-long under sanitizers; they are
+  # fully covered by the Release job.
   ctest --test-dir "$repo_root/build-asan" --output-on-failure -j"$jobs" \
-    -E core_integration_test
+    -L unit
 }
 
 case "$mode" in

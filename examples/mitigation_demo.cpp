@@ -1,14 +1,14 @@
 // Mitigation demo: C/F-pruned VGG11 mapped onto non-ideal crossbars with
 // (a) no mitigation, (b) crossbar-column rearrangement R, and (c) WCT —
-// the paper's §VI strategies.
+// the paper's §VI strategies. A thin SweepSpec driver: the mitigation axis
+// is the grid, repeats aggregate to mean±std, and interrupted runs resume
+// (results/mitigation_demo.csv).
 //
 //   ./mitigation_demo [--sparsity=0.8] [--xbar=64] [--wct-percentile=0.9]
-#include "core/evaluator.h"
-#include "core/wct.h"
-#include "data/synthetic.h"
-#include "nn/trainer.h"
-#include "nn/vgg.h"
-#include "prune/prune.h"
+//                     [--shards=N] [--resume]
+#include "core/experiments.h"
+#include "sweep/runner.h"
+#include "util/csv.h"
 #include "util/flags.h"
 
 #include <cstdio>
@@ -16,54 +16,44 @@
 int main(int argc, char** argv) {
     using namespace xs;
     const util::Flags flags(argc, argv);
-    const double sparsity = flags.get_double("sparsity", 0.8);
-    const std::int64_t size = flags.get_int("xbar", 64);
+    core::ExperimentContext ctx(flags);
+    // --sparsity is this demo's historical flag name; it wins over the
+    // shared --sparsity10 default.
+    const double sparsity = flags.get_double("sparsity", ctx.sparsity_for(10));
 
-    const data::SyntheticSpec spec = data::cifar10_like();
-    const auto tt = data::generate_split(spec, flags.get_int("train-count", 1280),
-                                         flags.get_int("test-count", 512));
+    sweep::SweepSpec spec;
+    spec.variants = {flags.get_string("variant", "vgg11")};
+    spec.class_counts = {10};
+    spec.prunes = {{prune::Method::kChannelFilter, sparsity}};
+    spec.mitigations = {{/*wct=*/false, /*rearrange=*/false},
+                        {/*wct=*/false, /*rearrange=*/true},
+                        {/*wct=*/true, /*rearrange=*/false}};
+    spec.sizes = {flags.get_int("xbar", 64)};
+    spec.sigmas = {ctx.sigma()};
+    spec.repeats = ctx.eval_repeats();
 
-    nn::VggConfig vgg;
-    vgg.width = flags.get_double("width", 0.125);
-    nn::TrainConfig train;
-    train.epochs = flags.get_int("epochs", 4);
+    sweep::SweepOptions opts;
+    opts.shards = flags.get_int("shards", 0);
+    opts.resume = flags.get_bool("resume", false);
+    opts.csv_name = "mitigation_demo.csv";
+    opts.manifest_name = "mitigation_demo_manifest.jsonl";
 
-    util::Rng rng(7);
-    nn::Sequential model = nn::build_vgg(vgg, rng);
-    prune::PruneConfig pc;
-    pc.method = prune::Method::kChannelFilter;
-    pc.sparsity = sparsity;
-    const prune::MaskSet masks = prune::prune_at_init(model, pc);
-    nn::train(model, tt.train, &tt.test, train, masks.hook());
-    const double software = nn::evaluate(model, tt.test);
+    sweep::SweepRunner runner(ctx, spec, opts);
+    const sweep::SweepSummary summary = runner.run();
 
-    core::EvalConfig eval;
-    eval.xbar.size = size;
-    eval.method = prune::Method::kChannelFilter;
-
-    const auto plain = core::evaluate_on_crossbars(model, tt.test, eval);
-
-    eval.rearrange = true;
-    const auto with_r = core::evaluate_on_crossbars(model, tt.test, eval);
-    eval.rearrange = false;
-
-    // WCT: clip + 2-epoch fine-tune, then map with the frozen w_ref scale.
-    core::WctConfig wct_config;
-    wct_config.percentile = flags.get_double("wct-percentile", 0.9);
-    const core::WctResult wct = core::apply_wct(model, tt.train, &tt.test, masks,
-                                                wct_config);
-    const double software_wct = nn::evaluate(model, tt.test);
-    eval.w_ref = wct.w_ref;
-    const auto with_wct = core::evaluate_on_crossbars(model, tt.test, eval);
-
-    std::printf("C/F-pruned VGG11 (s=%.2f) on %lldx%lld crossbars\n", sparsity,
-                static_cast<long long>(size), static_cast<long long>(size));
-    std::printf("  software:                %6.2f %%\n", software);
-    std::printf("  non-ideal, no mitigation:%6.2f %%   (NF %.4f)\n",
-                plain.accuracy, plain.nf_mean);
-    std::printf("  + rearrangement R:       %6.2f %%   (NF %.4f)\n",
-                with_r.accuracy, with_r.nf_mean);
-    std::printf("  WCT (software %.2f%%):   %6.2f %%   (NF %.4f)\n", software_wct,
-                with_wct.accuracy, with_wct.nf_mean);
+    std::printf("C/F-pruned %s (s=%.2f) on %lldx%lld crossbars\n",
+                spec.variants.front().c_str(), sparsity,
+                static_cast<long long>(spec.sizes.front()),
+                static_cast<long long>(spec.sizes.front()));
+    util::TextTable table({"mitigation", "software", "crossbar", "NF"});
+    for (const sweep::GroupRow& row : summary.rows) {
+        if (!row.complete()) continue;
+        table.add_row({row.cell.mitigation.name(),
+                       util::fmt(row.software_acc) + "%",
+                       util::fmt(row.acc_mean) + "±" + util::fmt(row.acc_std) + "%",
+                       util::fmt(row.nf_mean, 4)});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("(aggregates written to %s)\n", summary.csv_path.c_str());
     return 0;
 }

@@ -1,10 +1,13 @@
-// Parasitic sweep: train (or load) the unpruned VGG11 once, then sweep
-// crossbar size × interconnect-resistance scale and report the accuracy and
-// NF surface. Useful for calibrating the simulator against published
-// degradation levels.
+// Parasitic sweep: the unpruned VGG11 swept over crossbar size ×
+// interconnect-resistance scale, reporting the accuracy and NF surface.
+// Useful for calibrating the simulator against published degradation
+// levels. A thin SweepSpec driver: the grid runs sharded and resumable,
+// and repeats aggregate to mean±std (results/parasitic_sweep.csv).
 //
-//   ./parasitic_sweep [--scales=0.5,0.75,1.0] [--sizes=16,32,64]
+//   ./parasitic_sweep [--scales-pct=50,75,100] [--sizes=16,32,64]
+//                     [--shards=N] [--resume]
 #include "core/experiments.h"
+#include "sweep/runner.h"
 #include "util/csv.h"
 #include "util/flags.h"
 
@@ -15,30 +18,39 @@ int main(int argc, char** argv) {
     const util::Flags flags(argc, argv);
     core::ExperimentContext ctx(flags);
 
-    std::vector<double> scales;
-    for (const auto s : flags.get_int_list("scales-pct", {50, 75, 100}))
-        scales.push_back(static_cast<double>(s) / 100.0);
+    sweep::SweepSpec spec;
+    spec.variants = {flags.get_string("variant", "vgg11")};
+    spec.class_counts = {10};
+    spec.prunes = {{prune::Method::kNone, 0.0}};
+    spec.mitigations = {{}};
+    spec.sizes = ctx.sizes();
+    spec.sigmas = {ctx.sigma()};
+    spec.parasitic_scales.clear();
+    for (const auto pct : flags.get_int_list("scales-pct", {50, 75, 100}))
+        spec.parasitic_scales.push_back(static_cast<double>(pct) / 100.0);
+    spec.repeats = ctx.eval_repeats();
 
-    const auto spec = ctx.spec("vgg11", 10, prune::Method::kNone, 0.0);
-    core::PreparedModel& model = ctx.prepared(spec);
-    const auto& tt = ctx.dataset(10);
-    std::printf("software accuracy: %.2f%%\n\n", model.software_accuracy);
+    sweep::SweepOptions opts;
+    opts.shards = flags.get_int("shards", 0);
+    opts.resume = flags.get_bool("resume", false);
+    opts.csv_name = "parasitic_sweep.csv";
+    opts.manifest_name = "parasitic_sweep_manifest.jsonl";
+
+    sweep::SweepRunner runner(ctx, spec, opts);
+    const sweep::SweepSummary summary = runner.run();
 
     util::TextTable table({"scale", "xbar", "accuracy", "drop", "NF"});
-    for (const double scale : scales) {
-        for (const auto size : ctx.sizes()) {
-            core::EvalConfig eval = ctx.eval_config(model, prune::Method::kNone, size);
-            eval.xbar.parasitics.r_driver *= scale;
-            eval.xbar.parasitics.r_wire_row *= scale;
-            eval.xbar.parasitics.r_wire_col *= scale;
-            eval.xbar.parasitics.r_sense *= scale;
-            const auto r = core::evaluate_on_crossbars(model.model, tt.test, eval);
-            table.add_row({util::fmt(scale, 2), std::to_string(size),
-                           util::fmt(r.accuracy) + "%",
-                           util::fmt(model.software_accuracy - r.accuracy),
-                           util::fmt(r.nf_mean, 4)});
-        }
+    for (const sweep::GroupRow& row : summary.rows) {
+        if (!row.complete()) continue;
+        table.add_row({util::fmt(row.cell.parasitic_scale, 2),
+                       std::to_string(row.cell.xbar_size),
+                       util::fmt(row.acc_mean) + "±" + util::fmt(row.acc_std) + "%",
+                       util::fmt(row.software_acc - row.acc_mean),
+                       util::fmt(row.nf_mean, 4)});
     }
+    std::printf("software accuracy: %.2f%%\n\n",
+                summary.rows.empty() ? 0.0 : summary.rows.front().software_acc);
     std::printf("%s\n", table.str().c_str());
+    std::printf("(aggregates written to %s)\n", summary.csv_path.c_str());
     return 0;
 }

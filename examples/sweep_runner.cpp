@@ -1,0 +1,47 @@
+// Generic declarative sweep driver: expand a SweepSpec from CLI flags
+// and/or a spec file, execute it sharded and resumable, and print the
+// paper-style accuracy-vs-crossbar-size table.
+//
+//   ./sweep_runner --variants=vgg11 --prune=none,cf:0.8 --sizes=16,32,64
+//       --mitigations=none,rearrange --sweep-repeats=3 --shards=4
+//   ./sweep_runner --spec=grid.sweep --resume
+//
+// Spec files hold the same keys as the flags, one `key = value` per line
+// ('#' comments); CLI flags override the file. Experiment-scale flags
+// (--width, --train-count, --epochs, --out-dir, …) are shared with every
+// other driver via core::ExperimentContext.
+#include "core/experiments.h"
+#include "sweep/runner.h"
+#include "util/flags.h"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    core::ExperimentContext ctx(flags);
+
+    sweep::SweepSpec spec = sweep::parse_sweep_spec(flags);
+    sweep::SweepOptions opts;
+    opts.shards = flags.get_int("shards", 0);
+    opts.resume = flags.get_bool("resume", false);
+    opts.max_cells = flags.get_int("max-cells", -1);
+    opts.csv_name = flags.get_string("csv", "sweep.csv");
+    opts.manifest_name = flags.get_string("manifest", "sweep_manifest.jsonl");
+
+    std::printf("sweep: %s\n", spec.describe().c_str());
+    sweep::SweepRunner runner(ctx, spec, opts);
+    const sweep::SweepSummary summary = runner.run();
+
+    std::printf("\n%s\n", sweep::accuracy_vs_size_table(summary).c_str());
+    std::printf("cells: %lld total, %lld executed, %lld resumed, %lld pending\n",
+                static_cast<long long>(summary.cells_total),
+                static_cast<long long>(summary.cells_executed),
+                static_cast<long long>(summary.cells_resumed),
+                static_cast<long long>(summary.cells_pending));
+    std::printf("aggregate CSV: %s\nmanifest:      %s\n",
+                summary.csv_path.c_str(), summary.manifest_path.c_str());
+    if (summary.cells_pending > 0)
+        std::printf("(incomplete — rerun with --resume to finish)\n");
+    return 0;
+}

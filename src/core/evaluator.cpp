@@ -345,17 +345,28 @@ EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
         }
     };
 
-    std::future<void> producer = std::async(std::launch::async, degrade_repeat,
-                                            std::int64_t{0},
-                                            std::ref(buffers[0]));
+    // When this call already runs inside a pool parallel region (e.g. one
+    // cell of a sharded sweep), the producer thread's top-level dispatch
+    // would block on the pool's task slot until the enclosing region ends —
+    // and the region is waiting on the producer. Repeats then degrade
+    // synchronously on the calling thread instead; results are identical
+    // either way (same buffers, same per-repeat seeds).
+    const bool overlap = !util::in_parallel_region();
+    std::future<void> producer;
+    if (overlap)
+        producer = std::async(std::launch::async, degrade_repeat,
+                              std::int64_t{0}, std::ref(buffers[0]));
     std::vector<const Tensor*> overrides(plans.size(), nullptr);
     EvalResult aggregate;
     for (std::int64_t r = 0; r < repeats; ++r) {
-        producer.get();  // repeat r's weights are ready (rethrows on error)
+        if (overlap)
+            producer.get();  // repeat r's weights are ready (rethrows on error)
+        else
+            degrade_repeat(r, buffers[r & 1]);
         RepeatBuffer& cur = buffers[r & 1];
         // Kick off repeat r+1 before consuming repeat r; the producer writes
         // the other buffer, whose previous contents were consumed at r-1.
-        if (r + 1 < repeats)
+        if (overlap && r + 1 < repeats)
             producer = std::async(std::launch::async, degrade_repeat, r + 1,
                                   std::ref(buffers[(r + 1) & 1]));
 

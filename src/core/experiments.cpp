@@ -2,7 +2,9 @@
 
 #include "util/log.h"
 
+#include <exception>
 #include <filesystem>
+#include <sstream>
 
 namespace xs::core {
 
@@ -16,6 +18,7 @@ ExperimentContext::ExperimentContext(const util::Flags& flags) {
     sigma_ = flags.get_double("sigma", 0.10);
     sparsity10_ = flags.get_double("sparsity10", 0.8);
     sparsity100_ = flags.get_double("sparsity100", 0.6);
+    wct_percentile_ = flags.get_double("wct-percentile", WctConfig().percentile);
     seed_ = static_cast<std::uint64_t>(flags.get_int("seed", 11));
     eval_repeats_ = flags.get_int("eval-repeats", 2);
     cache_dir_ = flags.get_string("cache-dir", "results/models");
@@ -28,19 +31,63 @@ double ExperimentContext::sparsity_for(std::int64_t num_classes) const {
     return num_classes >= 100 ? sparsity100_ : sparsity10_;
 }
 
+template <typename Key, typename T, typename Build>
+T& ExperimentContext::prepared_slot(
+    std::map<Key, std::shared_ptr<Slot<T>>>& cache, const Key& key,
+    const Build& build) {
+    std::shared_ptr<Slot<T>> slot;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto& entry = cache[key];
+        if (!entry) {
+            entry = std::make_shared<Slot<T>>();
+            builder = true;
+        }
+        slot = entry;
+    }
+    if (builder) {
+        std::unique_ptr<T> value;
+        std::exception_ptr error;
+        try {
+            value = build();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        if (error) {
+            // Evict so a later request retries the build (a transient
+            // failure must not poison the cache); current waiters keep the
+            // slot alive via their shared_ptr and rethrow the stored error.
+            std::lock_guard<std::mutex> lock(mu_);
+            const auto it = cache.find(key);
+            if (it != cache.end() && it->second == slot) cache.erase(it);
+        }
+        {
+            std::lock_guard<std::mutex> lock(slot->m);
+            slot->value = std::move(value);
+            slot->error = error;
+            slot->ready = true;
+        }
+        slot->cv.notify_all();
+    } else {
+        std::unique_lock<std::mutex> lock(slot->m);
+        slot->cv.wait(lock, [&] { return slot->ready; });
+    }
+    if (slot->error) std::rethrow_exception(slot->error);
+    return *slot->value;
+}
+
 const data::TrainTest& ExperimentContext::dataset(std::int64_t num_classes) {
-    auto it = datasets_.find(num_classes);
-    if (it != datasets_.end()) return it->second;
-    const data::SyntheticSpec spec = num_classes >= 100
-                                         ? data::cifar100_like(seed_ + 100)
-                                         : data::cifar10_like(seed_);
-    util::log_info("generating " + std::to_string(num_classes) + "-class dataset (" +
-                   std::to_string(train_count_) + " train / " +
-                   std::to_string(test_count_) + " test)");
-    auto [pos, inserted] = datasets_.emplace(
-        num_classes, data::generate_split(spec, train_count_, test_count_));
-    (void)inserted;
-    return pos->second;
+    return prepared_slot(datasets_, num_classes, [&] {
+        const data::SyntheticSpec spec = num_classes >= 100
+                                             ? data::cifar100_like(seed_ + 100)
+                                             : data::cifar10_like(seed_);
+        util::log_info("generating " + std::to_string(num_classes) +
+                       "-class dataset (" + std::to_string(train_count_) +
+                       " train / " + std::to_string(test_count_) + " test)");
+        return std::make_unique<data::TrainTest>(
+            data::generate_split(spec, train_count_, test_count_));
+    });
 }
 
 ModelSpec ExperimentContext::spec(const std::string& variant,
@@ -62,19 +109,16 @@ ModelSpec ExperimentContext::spec(const std::string& variant,
     s.train.verbose = verbose_;
     s.init_seed = seed_ + 7;
     s.wct = wct;
+    s.wct_config.percentile = wct_percentile_;
     return s;
 }
 
 PreparedModel& ExperimentContext::prepared(const ModelSpec& spec) {
-    const std::string key = spec.key();
-    auto it = models_.find(key);
-    if (it != models_.end()) return *it->second;
-    const data::TrainTest& tt = dataset(spec.vgg.num_classes);
-    auto model = std::make_unique<PreparedModel>(
-        prepare_model(spec, tt.train, tt.test, cache_dir_, /*verbose=*/true));
-    auto [pos, inserted] = models_.emplace(key, std::move(model));
-    (void)inserted;
-    return *pos->second;
+    return prepared_slot(models_, spec.key(), [&] {
+        const data::TrainTest& tt = dataset(spec.vgg.num_classes);
+        return std::make_unique<PreparedModel>(
+            prepare_model(spec, tt.train, tt.test, cache_dir_, /*verbose=*/true));
+    });
 }
 
 xbar::CrossbarConfig ExperimentContext::xbar(std::int64_t size) const {
@@ -100,6 +144,14 @@ EvalConfig ExperimentContext::eval_config(const PreparedModel& model,
 std::string ExperimentContext::csv_path(const std::string& name) const {
     std::filesystem::create_directories(out_dir_);
     return out_dir_ + "/" + name;
+}
+
+std::string ExperimentContext::fingerprint() const {
+    std::ostringstream os;
+    os << "w" << width_ << "/n" << train_count_ << "/t" << test_count_ << "/e"
+       << epochs_ << "/b" << batch_ << "/seed" << seed_ << "/wp"
+       << wct_percentile_;
+    return os.str();
 }
 
 }  // namespace xs::core

@@ -1,0 +1,123 @@
+#include "sweep/manifest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xs::sweep {
+
+namespace {
+
+// 17 significant digits: the shortest precision that round-trips every
+// double exactly through strtod.
+void append_number(std::string& out, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void append_field(std::string& out, const char* key, double v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    append_number(out, v);
+}
+
+// Scan `line` for `"key":` and parse the number that follows. The manifest
+// only ever contains flat objects with one string field (the id), so this
+// does not need a general JSON parser.
+bool find_number(const std::string& line, const char* key, double& out) {
+    const std::string needle = "\"" + std::string(key) + "\":";
+    const auto pos = line.find(needle);
+    if (pos == std::string::npos) return false;
+    const char* start = line.c_str() + pos + needle.size();
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return false;
+    out = v;
+    return true;
+}
+
+}  // namespace
+
+std::string encode_manifest_line(const std::string& cell_id, const CellResult& r) {
+    std::string out = "{\"cell\":\"" + cell_id + "\"";
+    append_field(out, "accuracy", r.accuracy);
+    append_field(out, "nf_mean", r.nf_mean);
+    append_field(out, "energy_pj", r.energy_pj);
+    append_field(out, "software_acc", r.software_acc);
+    append_field(out, "tiles", static_cast<double>(r.tiles));
+    append_field(out, "unconverged", static_cast<double>(r.unconverged));
+    append_field(out, "wall_ms", r.wall_ms);
+    out += "}";
+    return out;
+}
+
+bool decode_manifest_line(const std::string& line, std::string& cell_id,
+                          CellResult& r) {
+    if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+    const auto id_pos = line.find("\"cell\":\"");
+    if (id_pos == std::string::npos) return false;
+    const auto id_start = id_pos + std::strlen("\"cell\":\"");
+    const auto id_end = line.find('"', id_start);
+    if (id_end == std::string::npos) return false;
+
+    CellResult parsed;
+    double tiles = 0.0, unconverged = 0.0;
+    if (!find_number(line, "accuracy", parsed.accuracy)) return false;
+    if (!find_number(line, "nf_mean", parsed.nf_mean)) return false;
+    if (!find_number(line, "energy_pj", parsed.energy_pj)) return false;
+    if (!find_number(line, "software_acc", parsed.software_acc)) return false;
+    if (!find_number(line, "tiles", tiles)) return false;
+    if (!find_number(line, "unconverged", unconverged)) return false;
+    find_number(line, "wall_ms", parsed.wall_ms);  // informational; optional
+    parsed.tiles = static_cast<std::int64_t>(tiles);
+    parsed.unconverged = static_cast<std::int64_t>(unconverged);
+
+    cell_id = line.substr(id_start, id_end - id_start);
+    r = parsed;
+    return true;
+}
+
+std::string load_manifest_config(const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string needle = "\"sweep_config\":\"";
+        const auto pos = line.find(needle);
+        if (pos == std::string::npos) continue;
+        const auto start = pos + needle.size();
+        const auto end = line.find('"', start);
+        if (end != std::string::npos) return line.substr(start, end - start);
+    }
+    return "";
+}
+
+std::map<std::string, CellResult> load_manifest(const std::string& path) {
+    std::map<std::string, CellResult> out;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string id;
+        CellResult r;
+        if (decode_manifest_line(line, id, r)) out[id] = r;
+    }
+    return out;
+}
+
+ManifestWriter::ManifestWriter(const std::string& path, bool append)
+    : out_(path, append ? std::ios::app : std::ios::trunc) {}
+
+void ManifestWriter::record_config(const std::string& fingerprint) {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_ << "{\"sweep_config\":\"" << fingerprint << "\"}" << '\n';
+    out_.flush();
+}
+
+void ManifestWriter::record(const std::string& cell_id, const CellResult& r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_ << encode_manifest_line(cell_id, r) << '\n';
+    out_.flush();
+}
+
+}  // namespace xs::sweep

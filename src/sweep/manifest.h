@@ -1,0 +1,61 @@
+// Crash-safe sweep progress log: one flat JSON object per line, appended and
+// flushed as each cell completes. --resume reads the manifest back, skips
+// every recorded cell, and aggregates from the recorded numbers — doubles
+// are written with 17 significant digits so the string round-trips exactly
+// and a resumed sweep reproduces the same aggregate CSV byte for byte. A
+// truncated trailing line (crash mid-write) is ignored on load.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <fstream>
+#include <string>
+
+namespace xs::sweep {
+
+// Everything a finished cell contributes to aggregation (plus wall_ms,
+// which is informational only and never aggregated).
+struct CellResult {
+    double accuracy = 0.0;      // % on the test set
+    double nf_mean = 0.0;       // tile-average non-ideality factor
+    double energy_pj = 0.0;     // estimated per-inference MAC-pass energy
+    double software_acc = 0.0;  // the prepared model's software accuracy (%)
+    std::int64_t tiles = 0;
+    std::int64_t unconverged = 0;
+    double wall_ms = 0.0;
+};
+
+// {"cell":"<id>","accuracy":...,...} — one line, no trailing newline.
+std::string encode_manifest_line(const std::string& cell_id, const CellResult& r);
+
+// Inverse of encode; tolerant of field order. Returns false (and leaves the
+// outputs untouched) for malformed or truncated lines.
+bool decode_manifest_line(const std::string& line, std::string& cell_id,
+                          CellResult& r);
+
+// Load every well-formed line; later duplicates of a cell id win.
+std::map<std::string, CellResult> load_manifest(const std::string& path);
+
+// The manifest's first line records the configuration fingerprint
+// ({"sweep_config":"…"}) so a resume under different experiment flags is
+// refused instead of silently mixing two configurations' results. Returns
+// "" when the manifest is absent or predates fingerprinting.
+std::string load_manifest_config(const std::string& path);
+
+// Serialized append-and-flush writer shared by all sweep shards.
+class ManifestWriter {
+public:
+    // append=false truncates (fresh sweep); append=true resumes.
+    ManifestWriter(const std::string& path, bool append);
+
+    void record_config(const std::string& fingerprint);
+    void record(const std::string& cell_id, const CellResult& r);
+    bool ok() const { return out_.good(); }
+
+private:
+    std::mutex mu_;
+    std::ofstream out_;
+};
+
+}  // namespace xs::sweep

@@ -1,0 +1,280 @@
+#include "sweep/runner.h"
+
+#include "map/energy.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <set>
+#include <sstream>
+
+namespace xs::sweep {
+
+namespace {
+
+using util::fmt_g;
+
+// Execute one grid cell: resolve the prepared (cached) model, build the
+// evaluation config from the cell's axes, run the crossbar evaluation for a
+// single Monte-Carlo draw, and attach the analytic energy estimate. Safe to
+// call concurrently from shard chunks: the context's caches are locked, the
+// shared model is only read, and all scratch is call-local.
+CellResult run_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
+                    const SweepCell& cell) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::ModelSpec model_spec =
+        ctx.spec(cell.variant, cell.num_classes, cell.prune.method,
+                 cell.prune.sparsity, cell.mitigation.wct);
+    core::PreparedModel& model = ctx.prepared(model_spec);
+    const data::TrainTest& tt = ctx.dataset(cell.num_classes);
+
+    core::EvalConfig eval = ctx.eval_config(model, cell.prune.method,
+                                            cell.xbar_size,
+                                            cell.mitigation.rearrange);
+    eval.xbar.device.sigma_variation = cell.sigma;
+    eval.xbar.parasitics.r_driver *= cell.parasitic_scale;
+    eval.xbar.parasitics.r_wire_row *= cell.parasitic_scale;
+    eval.xbar.parasitics.r_wire_col *= cell.parasitic_scale;
+    eval.xbar.parasitics.r_sense *= cell.parasitic_scale;
+    eval.faults.p_stuck_min = cell.faults.p_stuck_min;
+    eval.faults.p_stuck_max = cell.faults.p_stuck_max;
+    eval.repeats = 1;  // the Monte-Carlo axis lives in the grid
+    eval.seed = cell_seed(ctx.seed(), cell);
+    eval.warm_start_solves = spec.warm_start_solves;
+
+    const core::EvalResult r =
+        core::evaluate_on_crossbars(model.model, tt.test, eval);
+    const map::EnergyReport energy = map::estimate_energy(
+        model.model, cell.prune.method, eval.xbar, map::EnergyConfig{});
+
+    CellResult out;
+    out.accuracy = r.accuracy;
+    out.nf_mean = r.nf_mean;
+    out.energy_pj = energy.total_energy_pj();
+    out.software_acc = model.software_accuracy;
+    out.tiles = r.total_tiles;
+    out.unconverged = r.unconverged_tiles;
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+}
+
+}  // namespace
+
+std::uint64_t cell_seed(std::uint64_t master_seed, const SweepCell& cell) {
+    std::uint64_t h = 1469598103934665603ULL ^
+                      (master_seed * 0x9E3779B97F4A7C15ULL);
+    for (const char ch : cell.group_id())
+        h = (h ^ static_cast<unsigned char>(ch)) * 1099511628211ULL;
+    return h + static_cast<std::uint64_t>(cell.repeat) * 0x9E3779B97F4A7C15ULL;
+}
+
+SweepRunner::SweepRunner(core::ExperimentContext& ctx, SweepSpec spec,
+                         SweepOptions opts)
+    : ctx_(ctx), spec_(std::move(spec)), opts_(std::move(opts)) {}
+
+SweepSummary SweepRunner::run() {
+    const std::vector<SweepCell> cells = spec_.expand();
+    SweepSummary summary;
+    summary.cells_total = static_cast<std::int64_t>(cells.size());
+    summary.manifest_path = ctx_.csv_path(opts_.manifest_name);
+    summary.csv_path = ctx_.csv_path(opts_.csv_name);
+
+    // Refuse to resume under a different experiment configuration — mixing
+    // two configurations' cells into one aggregate would be silent and
+    // plausible-looking. The fingerprint covers every context field that
+    // changes cell results, plus the solve-determinism mode.
+    const std::string config_fp =
+        ctx_.fingerprint() + (spec_.warm_start_solves ? "/warm" : "/cold");
+    std::map<std::string, CellResult> results;
+    std::string recorded_fp;
+    if (opts_.resume) {
+        recorded_fp = load_manifest_config(summary.manifest_path);
+        tensor::check(recorded_fp.empty() || recorded_fp == config_fp,
+                      "sweep: manifest '" + summary.manifest_path +
+                          "' was recorded under a different configuration (" +
+                          recorded_fp + " vs " + config_fp +
+                          "); rerun without --resume or delete it");
+        results = load_manifest(summary.manifest_path);
+    }
+    ManifestWriter manifest(summary.manifest_path, opts_.resume);
+    tensor::check(manifest.ok(), "sweep: cannot open manifest '" +
+                                     summary.manifest_path + "' for writing");
+    if (recorded_fp.empty()) manifest.record_config(config_fp);
+
+    // Pending cells in expansion order (resume skips recorded ones).
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if (results.find(cells[i].id()) == results.end()) pending.push_back(i);
+    summary.cells_resumed =
+        summary.cells_total - static_cast<std::int64_t>(pending.size());
+    if (opts_.max_cells >= 0 &&
+        pending.size() > static_cast<std::size_t>(opts_.max_cells))
+        pending.resize(static_cast<std::size_t>(opts_.max_cells));
+    summary.cells_pending = summary.cells_total - summary.cells_resumed -
+                            static_cast<std::int64_t>(pending.size());
+
+    // Prepare every distinct model before sharding: training parallelizes
+    // across the whole pool here, no shard ever stalls on another shard's
+    // training, and a grid never retrains a shared model twice.
+    {
+        std::set<std::string> seen;
+        for (const std::size_t i : pending) {
+            const SweepCell& c = cells[i];
+            const core::ModelSpec ms =
+                ctx_.spec(c.variant, c.num_classes, c.prune.method,
+                          c.prune.sparsity, c.mitigation.wct);
+            if (seen.insert(ms.key()).second) ctx_.prepared(ms);
+        }
+    }
+
+    // Shard phase: shard s owns pending indices s, s+shards, s+2·shards, …
+    // — an assignment that depends only on expansion order. Exceptions are
+    // collected per shard and rethrown after the dispatch (an exception
+    // escaping into the pool would terminate the process).
+    const std::size_t nshards =
+        opts_.shards > 0 ? static_cast<std::size_t>(opts_.shards)
+                         : util::worker_count();
+    std::vector<CellResult> executed(pending.size());
+    std::vector<std::exception_ptr> errors(nshards);
+    std::atomic<std::int64_t> completed{0};
+    util::parallel_for_workers(
+        0, nshards, [&](std::size_t, std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                try {
+                    for (std::size_t p = s; p < pending.size(); p += nshards) {
+                        const SweepCell& cell = cells[pending[p]];
+                        executed[p] = run_cell(ctx_, spec_, cell);
+                        manifest.record(cell.id(), executed[p]);
+                        const std::int64_t n = ++completed;
+                        util::log_info(
+                            "sweep cell " + std::to_string(n) + "/" +
+                            std::to_string(pending.size()) + " " + cell.id() +
+                            ": acc " + util::fmt(executed[p].accuracy) + "% (" +
+                            util::fmt(executed[p].wall_ms, 0) + " ms)");
+                    }
+                } catch (...) {
+                    errors[s] = std::current_exception();
+                }
+            }
+        });
+    for (const auto& error : errors)
+        if (error) std::rethrow_exception(error);
+    // A bad manifest stream (disk full, I/O error) silently drops resume
+    // state — fail loudly rather than let --resume re-run finished cells.
+    tensor::check(manifest.ok(), "sweep: manifest writes to '" +
+                                     summary.manifest_path +
+                                     "' failed; resume state is incomplete");
+    summary.cells_executed = completed.load();
+    for (std::size_t p = 0; p < pending.size(); ++p)
+        results[cells[pending[p]].id()] = executed[p];
+
+    // Aggregate groups in expansion order; `repeat` is the innermost axis,
+    // so one group's cells are contiguous.
+    for (std::size_t i = 0; i < cells.size();) {
+        GroupRow row;
+        row.cell = cells[i];
+        row.repeats_total = spec_.repeats;
+        std::vector<const CellResult*> got;
+        for (std::int64_t r = 0; r < spec_.repeats; ++r, ++i) {
+            const auto it = results.find(cells[i].id());
+            if (it != results.end()) got.push_back(&it->second);
+        }
+        row.repeats_done = static_cast<std::int64_t>(got.size());
+        if (!got.empty()) {
+            double acc_sum = 0.0, nf_sum = 0.0;
+            for (const CellResult* r : got) {
+                acc_sum += r->accuracy;
+                nf_sum += r->nf_mean;
+                row.unconverged += r->unconverged;
+            }
+            const double n = static_cast<double>(got.size());
+            row.acc_mean = acc_sum / n;
+            row.nf_mean = nf_sum / n;
+            double acc_var = 0.0, nf_var = 0.0;
+            for (const CellResult* r : got) {
+                acc_var += (r->accuracy - row.acc_mean) * (r->accuracy - row.acc_mean);
+                nf_var += (r->nf_mean - row.nf_mean) * (r->nf_mean - row.nf_mean);
+            }
+            row.acc_std = std::sqrt(acc_var / n);
+            row.nf_std = std::sqrt(nf_var / n);
+            row.software_acc = got.front()->software_acc;
+            row.energy_pj = got.front()->energy_pj;
+            row.tiles = got.front()->tiles;
+        }
+        summary.rows.push_back(std::move(row));
+    }
+
+    // Aggregate CSV: complete groups only, fixed-precision cells, expansion
+    // order — the bytes depend solely on the grid and the cell results.
+    util::CsvWriter csv(summary.csv_path,
+                        {"variant", "classes", "method", "sparsity",
+                         "mitigation", "xbar_size", "sigma", "parasitic_scale",
+                         "p_stuck_min", "p_stuck_max", "repeats",
+                         "software_acc", "acc_mean", "acc_std", "nf_mean",
+                         "nf_std", "energy_pj", "tiles", "unconverged"});
+    for (const GroupRow& row : summary.rows) {
+        if (!row.complete()) continue;
+        const SweepCell& c = row.cell;
+        csv.row(c.variant, c.num_classes, prune::method_name(c.prune.method),
+                fmt_g(c.prune.sparsity), c.mitigation.name(), c.xbar_size,
+                fmt_g(c.sigma), fmt_g(c.parasitic_scale), fmt_g(c.faults.p_stuck_min),
+                fmt_g(c.faults.p_stuck_max), row.repeats_done,
+                util::fmt(row.software_acc, 4), util::fmt(row.acc_mean, 4),
+                util::fmt(row.acc_std, 4), util::fmt(row.nf_mean, 6),
+                util::fmt(row.nf_std, 6), util::fmt(row.energy_pj, 3),
+                row.tiles, row.unconverged);
+    }
+    csv.flush();
+    tensor::check(csv.ok(), "sweep: failed writing '" + summary.csv_path + "'");
+    return summary;
+}
+
+std::string accuracy_vs_size_table(const SweepSummary& summary) {
+    // Ordered unique sizes and size-independent row labels.
+    std::vector<std::int64_t> sizes;
+    std::vector<std::string> labels;
+    std::map<std::string, std::map<std::int64_t, const GroupRow*>> grid;
+    std::map<std::string, double> software;
+    for (const GroupRow& row : summary.rows) {
+        const SweepCell& c = row.cell;
+        const std::string key = c.label(/*with_size=*/false,
+                                        /*elide_defaults=*/true);
+        if (grid.find(key) == grid.end()) labels.push_back(key);
+        if (std::find(sizes.begin(), sizes.end(), c.xbar_size) == sizes.end())
+            sizes.push_back(c.xbar_size);
+        grid[key][c.xbar_size] = &row;
+        if (row.complete()) software[key] = row.software_acc;
+    }
+
+    std::vector<std::string> header{"configuration", "software"};
+    for (const auto size : sizes)
+        header.push_back(std::to_string(size) + "x" + std::to_string(size));
+    util::TextTable table(std::move(header));
+    for (const std::string& label : labels) {
+        std::vector<std::string> cells{label};
+        const auto sw = software.find(label);
+        cells.push_back(sw == software.end() ? "--"
+                                             : util::fmt(sw->second) + "%");
+        for (const auto size : sizes) {
+            const auto it = grid[label].find(size);
+            if (it == grid[label].end() || !it->second->complete()) {
+                cells.push_back("--");
+            } else {
+                cells.push_back(util::fmt(it->second->acc_mean) + "±" +
+                                util::fmt(it->second->acc_std) + "%");
+            }
+        }
+        table.add_row(std::move(cells));
+    }
+    return table.str();
+}
+
+}  // namespace xs::sweep

@@ -1,0 +1,84 @@
+// Sharded, resumable execution of a SweepSpec grid (DESIGN.md §7).
+//
+// Cells are dealt round-robin onto `shards` logical shards and the shards
+// run concurrently on the process-wide worker pool; every completed cell is
+// appended to a JSONL manifest (sweep/manifest.h) so an interrupted sweep
+// resumes with --resume, skipping finished cells. Per-cell RNG seeds derive
+// from the cell's stable group id — never from shard or completion order —
+// and sweep cells cold-start their circuit solves, so the aggregate CSV is
+// byte-identical at any shard count, with or without interruption.
+#pragma once
+
+#include "core/experiments.h"
+#include "sweep/manifest.h"
+#include "sweep/spec.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xs::sweep {
+
+struct SweepOptions {
+    // Logical shards; 0 = one per pool worker. Cell→shard assignment is
+    // index % shards, fixed by expansion order.
+    std::int64_t shards = 0;
+    // Skip cells already recorded in the manifest (fresh runs truncate it).
+    bool resume = false;
+    std::string csv_name = "sweep.csv";
+    std::string manifest_name = "sweep_manifest.jsonl";
+    // Execute at most this many new cells, then stop (negative = no limit).
+    // Smoke runs and the resume tests use this as a deterministic
+    // mid-sweep interruption.
+    std::int64_t max_cells = -1;
+};
+
+// One aggregation group (= one CSV row): all repeats of a grid point.
+struct GroupRow {
+    SweepCell cell;  // repeat-0 representative
+    std::int64_t repeats_total = 0;
+    std::int64_t repeats_done = 0;
+    double software_acc = 0.0;
+    double acc_mean = 0.0, acc_std = 0.0;
+    double nf_mean = 0.0, nf_std = 0.0;
+    double energy_pj = 0.0;
+    std::int64_t tiles = 0;
+    std::int64_t unconverged = 0;  // summed over repeats
+
+    bool complete() const { return repeats_done == repeats_total; }
+};
+
+struct SweepSummary {
+    std::vector<GroupRow> rows;  // expansion order; complete and partial
+    std::int64_t cells_total = 0;
+    std::int64_t cells_executed = 0;
+    std::int64_t cells_resumed = 0;   // taken from the manifest
+    std::int64_t cells_pending = 0;   // skipped by max_cells
+    std::string csv_path;
+    std::string manifest_path;
+};
+
+// Deterministic per-cell RNG seed: a function of the master seed and the
+// cell's identity only (FNV-1a over the group id, offset by the repeat).
+std::uint64_t cell_seed(std::uint64_t master_seed, const SweepCell& cell);
+
+class SweepRunner {
+public:
+    SweepRunner(core::ExperimentContext& ctx, SweepSpec spec, SweepOptions opts);
+
+    // Prepare shared models (each once), execute pending cells sharded,
+    // append the manifest, and write the aggregate CSV (complete groups
+    // only, expansion order).
+    SweepSummary run();
+
+private:
+    core::ExperimentContext& ctx_;
+    SweepSpec spec_;
+    SweepOptions opts_;
+};
+
+// Paper-style accuracy-vs-crossbar-size table: one row per group modulo the
+// size axis, one column per size ("mean±std" cells; incomplete groups "--").
+std::string accuracy_vs_size_table(const SweepSummary& summary);
+
+}  // namespace xs::sweep

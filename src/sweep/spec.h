@@ -1,0 +1,103 @@
+// Declarative experiment grids over the paper's evaluation axes. A SweepSpec
+// names the values of every axis — model variant, class count, pruning
+// method/sparsity, mitigation (WCT / rearrangement), crossbar size, device
+// sigma, parasitic scale, stuck-fault rates, and the Monte-Carlo repeat —
+// and expand() emits the full cartesian product as SweepCells. The runner
+// (sweep/runner.h) executes cells sharded and resumable; cells that differ
+// only in `repeat` aggregate into one mean±std row of the output CSV.
+//
+// Specs parse from CLI flags, optionally overlaid on a `key = value` spec
+// file (--spec=<path>; '#' starts a comment; CLI flags win over the file).
+#pragma once
+
+#include "prune/prune.h"
+#include "util/flags.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xs::sweep {
+
+// One mitigation setting (paper §VI): weight-clipping training and/or
+// crossbar-column rearrangement, independently toggleable.
+struct Mitigation {
+    bool wct = false;
+    bool rearrange = false;
+
+    // "none", "rearrange", "wct", "wct+rearrange" — also the parse syntax.
+    std::string name() const;
+};
+
+struct PruneSetting {
+    prune::Method method = prune::Method::kNone;
+    double sparsity = 0.0;
+};
+
+struct FaultSetting {
+    double p_stuck_min = 0.0;  // SA0 rate
+    double p_stuck_max = 0.0;  // SA1 rate
+};
+
+// One fully-resolved grid point.
+struct SweepCell {
+    std::string variant = "vgg11";
+    std::int64_t num_classes = 10;
+    PruneSetting prune;
+    Mitigation mitigation;
+    std::int64_t xbar_size = 32;
+    double sigma = 0.10;
+    double parasitic_scale = 1.0;
+    FaultSetting faults;
+    std::int64_t repeat = 0;
+
+    // Stable identifier of the cell's aggregation group (everything except
+    // the repeat axis); the manifest and the per-cell RNG seed key off it.
+    std::string group_id() const;
+    // group_id() + "/r<repeat>" — the manifest key of this cell.
+    std::string id() const;
+    // Display label: group_id() optionally without the size axis and with
+    // axes still at their SweepCell defaults elided (table row headers).
+    std::string label(bool with_size, bool elide_defaults) const;
+};
+
+struct SweepSpec {
+    std::vector<std::string> variants = {"vgg11"};
+    std::vector<std::int64_t> class_counts = {10};
+    std::vector<PruneSetting> prunes = {{}};
+    std::vector<Mitigation> mitigations = {{}};
+    std::vector<std::int64_t> sizes = {16, 32, 64};
+    std::vector<double> sigmas = {0.10};
+    std::vector<double> parasitic_scales = {1.0};
+    std::vector<FaultSetting> faults = {{}};
+    // Monte-Carlo repeats; expanded as the innermost axis so one group's
+    // cells are contiguous in expansion order.
+    std::int64_t repeats = 2;
+    // Cold-start every circuit solve inside sweep cells. Warm starting
+    // leaves sub-float-resolution residuals that depend on how tiles are
+    // partitioned, and the partition depends on where a cell runs (inline
+    // in a shard chunk vs top-level); cold starts make cell results
+    // bit-identical at any --shards value (DESIGN.md §7).
+    bool warm_start_solves = false;
+
+    // Full cartesian grid in deterministic order (repeat innermost).
+    std::vector<SweepCell> expand() const;
+    // Human-readable axis summary, e.g. for a run banner.
+    std::string describe() const;
+};
+
+// Parse a spec file into a key→value map: one `key = value` per line,
+// '#' comments, blank lines ignored. Throws on unreadable files.
+std::map<std::string, std::string> read_spec_file(const std::string& path);
+
+// Resolve the sweep axes from `flags`, overlaid on --spec=<file> when given.
+// Axis keys (CLI flag == spec-file key):
+//   variants=vgg11,vgg16       classes=10,100
+//   prune=none,cf:0.8,xcs:0.8  mitigations=none,rearrange,wct,wct+rearrange
+//   sizes=16,32,64             sigmas=0.10
+//   parasitic-scales=1.0       faults=0:0,0.01:0.001   (SA0:SA1)
+//   sweep-repeats=2            warm-start=false
+SweepSpec parse_sweep_spec(const util::Flags& flags);
+
+}  // namespace xs::sweep

@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 
 namespace xs::util {
@@ -21,19 +22,34 @@ void TextTable::add_row(std::vector<std::string> cells) {
     rows_.push_back(std::move(cells));
 }
 
+namespace {
+
+// Display width of a UTF-8 cell: count non-continuation bytes so glyphs
+// like '±' don't skew the column alignment.
+std::size_t display_width(const std::string& s) {
+    std::size_t n = 0;
+    for (const unsigned char ch : s)
+        if ((ch & 0xC0) != 0x80) ++n;
+    return n;
+}
+
+}  // namespace
+
 std::string TextTable::str() const {
     std::vector<std::size_t> width(header_.size());
-    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = display_width(header_[c]);
     for (const auto& row : rows_)
         for (std::size_t c = 0; c < row.size(); ++c)
-            width[c] = std::max(width[c], row[c].size());
+            width[c] = std::max(width[c], display_width(row[c]));
 
     std::ostringstream os;
     auto emit_row = [&](const std::vector<std::string>& row) {
         os << "| ";
         for (std::size_t c = 0; c < header_.size(); ++c) {
-            os << std::left << std::setw(static_cast<int>(width[c]))
-               << (c < row.size() ? row[c] : "") << " | ";
+            const std::string& cell = c < row.size() ? row[c] : std::string();
+            os << cell << std::string(width[c] - display_width(cell), ' ')
+               << " | ";
         }
         os << '\n';
     };
@@ -50,6 +66,12 @@ std::string fmt(double value, int precision) {
     std::ostringstream os;
     os << std::fixed << std::setprecision(precision) << value;
     return os.str();
+}
+
+std::string fmt_g(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    return buf;
 }
 
 }  // namespace xs::util

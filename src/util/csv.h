@@ -53,4 +53,7 @@ private:
 // Format a double with fixed precision (helper for table cells).
 std::string fmt(double value, int precision = 2);
 
+// Shortest %g formatting — compact ids/labels like "0.8" or "1e-05".
+std::string fmt_g(double value);
+
 }  // namespace xs::util

@@ -48,7 +48,13 @@ public:
     void run(std::size_t begin, std::size_t end, RawFn fn, void* ctx) {
         const std::size_t total = end - begin;
         if (total == 0) return;
-        if (count_ == 1 || tl_in_parallel_region) {
+        // Single-part dispatches (1-worker pool, nested call, or a range of
+        // one) run inline without touching pool state. In particular they
+        // must not hold the dispatch mutex while running: a single-element
+        // top-level range whose body re-dispatches (e.g. a 1-shard sweep
+        // whose cells use the pool) would deadlock on its own lock.
+        const std::size_t parts = std::min(count_, total);
+        if (parts == 1 || tl_in_parallel_region) {
             fn(ctx, 0, begin, end);
             return;
         }
@@ -56,11 +62,6 @@ public:
         // the pool has a single task slot, and the thread-local region flag
         // cannot see another thread's in-flight dispatch.
         std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
-        const std::size_t parts = std::min(count_, total);
-        if (parts == 1) {
-            fn(ctx, 0, begin, end);
-            return;
-        }
         tl_in_parallel_region = true;
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -155,6 +156,8 @@ Pool& pool() {
 }  // namespace
 
 std::size_t worker_count() { return pool().count(); }
+
+bool in_parallel_region() { return tl_in_parallel_region; }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {

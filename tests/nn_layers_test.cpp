@@ -25,7 +25,7 @@ TEST(Conv2d, ForwardMatchesDirectConvolution) {
 
     // Direct reference at a few positions.
     const Tensor& w = conv.weight().value;
-    for (const auto [f, oi, oj] : {std::tuple{0L, 0L, 0L}, {1L, 2L, 3L}, {2L, 4L, 4L}}) {
+    for (const auto& [f, oi, oj] : {std::tuple{0L, 0L, 0L}, {1L, 2L, 3L}, {2L, 4L, 4L}}) {
         double acc = conv.bias().value[f];
         for (std::int64_t c = 0; c < 2; ++c)
             for (std::int64_t ki = 0; ki < 3; ++ki)

@@ -1,0 +1,194 @@
+// End-to-end SweepRunner coverage on a deliberately tiny grid: manifest
+// resume after a mid-sweep interruption reproduces the uninterrupted
+// aggregate CSV byte for byte, the CSV is invariant to the shard count, and
+// the thread-safe ExperimentContext prepares each shared model exactly once.
+#include "core/experiments.h"
+#include "sweep/runner.h"
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace xs::sweep {
+namespace {
+
+std::string test_dir() {
+    const auto dir = std::filesystem::temp_directory_path() / "xs_sweep_runner";
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+util::Flags tiny_flags() {
+    static std::vector<std::string> args = {
+        "--width=0.0625",  "--train-count=96", "--test-count=48",
+        "--epochs=1",      "--batch=16",       "--sizes=16",
+        "--out-dir=" + test_dir(), "--cache-dir=" + test_dir() + "/models"};
+    std::vector<char*> argv;
+    static const char* name = "sweep_runner_test";
+    argv.push_back(const_cast<char*>(name));
+    for (auto& arg : args) argv.push_back(arg.data());
+    return util::Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+SweepSpec tiny_spec() {
+    SweepSpec spec;
+    spec.variants = {"vgg11"};
+    spec.class_counts = {10};
+    spec.prunes = {{prune::Method::kNone, 0.0},
+                   {prune::Method::kChannelFilter, 0.8}};
+    spec.mitigations = {{}};
+    spec.sizes = {16};
+    spec.repeats = 2;
+    return spec;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+// All tests share one context (and its trained models / dataset). The
+// directory is wiped once per process so no test can compare against stale
+// output from a previous binary version.
+core::ExperimentContext& ctx() {
+    static const bool cleaned = [] {
+        std::filesystem::remove_all(std::filesystem::temp_directory_path() /
+                                    "xs_sweep_runner");
+        return true;
+    }();
+    (void)cleaned;
+    static util::Flags flags = tiny_flags();
+    static core::ExperimentContext context(flags);
+    return context;
+}
+
+SweepSummary run(const SweepOptions& opts) {
+    SweepRunner runner(ctx(), tiny_spec(), opts);
+    return runner.run();
+}
+
+TEST(SweepRunner, UninterruptedBaseline) {
+    SweepOptions opts;
+    opts.csv_name = "full.csv";
+    opts.manifest_name = "full.jsonl";
+    const SweepSummary summary = run(opts);
+    EXPECT_EQ(summary.cells_total, 4);
+    EXPECT_EQ(summary.cells_executed, 4);
+    EXPECT_EQ(summary.cells_pending, 0);
+    ASSERT_EQ(summary.rows.size(), 2u);
+    for (const auto& row : summary.rows) {
+        EXPECT_TRUE(row.complete());
+        EXPECT_EQ(row.repeats_done, 2);
+        EXPECT_GT(row.tiles, 0);
+        EXPECT_GT(row.energy_pj, 0.0);
+    }
+    // Two groups -> header + two data rows.
+    std::istringstream csv(slurp(summary.csv_path));
+    std::string line;
+    int lines = 0;
+    while (std::getline(csv, line)) ++lines;
+    EXPECT_EQ(lines, 3);
+}
+
+TEST(SweepRunner, InterruptedThenResumedCsvIsByteIdentical) {
+    SweepOptions baseline;
+    baseline.csv_name = "full.csv";
+    baseline.manifest_name = "full.jsonl";
+    run(baseline);  // idempotent; ensures full.csv exists
+
+    SweepOptions opts;
+    opts.csv_name = "resumed.csv";
+    opts.manifest_name = "resumed.jsonl";
+    opts.max_cells = 2;  // "kill" the sweep after two cells
+    const SweepSummary partial = run(opts);
+    EXPECT_EQ(partial.cells_executed, 2);
+    EXPECT_EQ(partial.cells_pending, 2);
+    // Only complete groups reach the aggregate CSV.
+    std::istringstream csv(slurp(partial.csv_path));
+    std::string line;
+    int lines = 0;
+    while (std::getline(csv, line)) ++lines;
+    EXPECT_EQ(lines, 2);  // header + the one finished group
+
+    // Simulate a crash mid-manifest-write on top of the interruption.
+    {
+        std::ofstream out(partial.manifest_path,
+                          std::ios::app | std::ios::binary);
+        out << "{\"cell\":\"vgg11-c10/cf";
+    }
+
+    opts.max_cells = -1;
+    opts.resume = true;
+    const SweepSummary resumed = run(opts);
+    EXPECT_EQ(resumed.cells_resumed, 2);
+    EXPECT_EQ(resumed.cells_executed, 2);
+    EXPECT_EQ(resumed.cells_pending, 0);
+
+    const std::string full = slurp(ctx().csv_path("full.csv"));
+    ASSERT_FALSE(full.empty());
+    EXPECT_EQ(slurp(resumed.csv_path), full);
+}
+
+TEST(SweepRunner, AggregateCsvInvariantToShardCount) {
+    // Self-sufficient under --gtest_filter: (re)generate the baseline here.
+    SweepOptions baseline;
+    baseline.csv_name = "full.csv";
+    baseline.manifest_name = "full.jsonl";
+    run(baseline);
+    const std::string full = slurp(ctx().csv_path("full.csv"));
+    ASSERT_FALSE(full.empty());
+    for (const std::int64_t shards : {1, 3, 7}) {
+        SweepOptions opts;
+        opts.shards = shards;
+        opts.csv_name = "shards" + std::to_string(shards) + ".csv";
+        opts.manifest_name = "shards" + std::to_string(shards) + ".jsonl";
+        const SweepSummary summary = run(opts);
+        EXPECT_EQ(summary.cells_executed, 4);
+        EXPECT_EQ(slurp(summary.csv_path), full) << shards << " shards";
+    }
+}
+
+TEST(SweepRunner, ResumeRefusesDifferentConfiguration) {
+    SweepOptions opts;
+    opts.csv_name = "fp.csv";
+    opts.manifest_name = "fp.jsonl";
+    opts.max_cells = 1;
+    run(opts);
+
+    // Same out-dir, different training config: the recorded cells came from
+    // another experiment, so resuming must fail loudly.
+    std::vector<std::string> args = {
+        "--width=0.0625",  "--train-count=96", "--test-count=48",
+        "--epochs=2",      "--batch=16",       "--sizes=16",
+        "--out-dir=" + test_dir(), "--cache-dir=" + test_dir() + "/models"};
+    std::vector<char*> argv;
+    static const char* name = "sweep_runner_test";
+    argv.push_back(const_cast<char*>(name));
+    for (auto& arg : args) argv.push_back(arg.data());
+    const util::Flags flags(static_cast<int>(argv.size()), argv.data());
+    core::ExperimentContext other(flags);
+
+    opts.resume = true;
+    opts.max_cells = -1;
+    SweepRunner runner(other, tiny_spec(), opts);
+    EXPECT_THROW(runner.run(), std::exception);
+}
+
+TEST(SweepRunner, ConcurrentPreparedReturnsOneModelInstance) {
+    const core::ModelSpec spec =
+        ctx().spec("vgg11", 10, prune::Method::kNone, 0.0);
+    std::vector<core::PreparedModel*> seen(8, nullptr);
+    util::parallel_for(0, seen.size(), [&](std::size_t i) {
+        seen[i] = &ctx().prepared(spec);
+    });
+    for (const auto* model : seen) EXPECT_EQ(model, seen[0]);
+}
+
+}  // namespace
+}  // namespace xs::sweep

@@ -1,0 +1,172 @@
+// SweepSpec grid expansion, spec-file/flag parsing, manifest line
+// round-tripping, and per-cell seed stability (sweep/spec.h, sweep/manifest.h).
+#include "sweep/manifest.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+namespace xs::sweep {
+namespace {
+
+util::Flags make_flags(std::vector<std::string> args) {
+    std::vector<char*> argv;
+    static const char* name = "sweep_spec_test";
+    argv.push_back(const_cast<char*>(name));
+    for (auto& arg : args) argv.push_back(arg.data());
+    return util::Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(SweepSpec, ExpandIsFullGridWithRepeatInnermost) {
+    SweepSpec spec;
+    spec.variants = {"vgg11", "vgg16"};
+    spec.class_counts = {10};
+    spec.prunes = {{prune::Method::kNone, 0.0},
+                   {prune::Method::kChannelFilter, 0.8}};
+    spec.mitigations = {{false, false}, {false, true}};
+    spec.sizes = {16, 64};
+    spec.faults = {{0.0, 0.0}, {0.01, 0.001}};
+    spec.repeats = 3;
+
+    const std::vector<SweepCell> cells = spec.expand();
+    ASSERT_EQ(cells.size(), 2u * 2u * 2u * 2u * 2u * 3u);
+
+    std::set<std::string> ids;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(cells[i].repeat, static_cast<std::int64_t>(i % 3));
+        EXPECT_TRUE(ids.insert(cells[i].id()).second) << cells[i].id();
+        // One group's cells are contiguous and share group_id.
+        if (i % 3 != 0) {
+            EXPECT_EQ(cells[i].group_id(), cells[i - 1].group_id());
+        }
+    }
+    // Deterministic: a second expansion is identical.
+    const std::vector<SweepCell> again = spec.expand();
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(cells[i].id(), again[i].id());
+}
+
+TEST(SweepSpec, ParsePruneAndMitigationSyntax) {
+    const auto flags = make_flags({"--prune=none,cf:0.8,xcs:0.6",
+                                   "--mitigations=none,rearrange,wct,wct+r"});
+    const SweepSpec spec = parse_sweep_spec(flags);
+    ASSERT_EQ(spec.prunes.size(), 3u);
+    EXPECT_EQ(spec.prunes[0].method, prune::Method::kNone);
+    EXPECT_EQ(spec.prunes[1].method, prune::Method::kChannelFilter);
+    EXPECT_DOUBLE_EQ(spec.prunes[1].sparsity, 0.8);
+    EXPECT_EQ(spec.prunes[2].method, prune::Method::kXbarColumn);
+    EXPECT_DOUBLE_EQ(spec.prunes[2].sparsity, 0.6);
+
+    ASSERT_EQ(spec.mitigations.size(), 4u);
+    EXPECT_EQ(spec.mitigations[0].name(), "none");
+    EXPECT_EQ(spec.mitigations[1].name(), "rearrange");
+    EXPECT_EQ(spec.mitigations[2].name(), "wct");
+    EXPECT_TRUE(spec.mitigations[3].wct && spec.mitigations[3].rearrange);
+
+    // A pruned method without a sparsity is a spec error.
+    EXPECT_THROW(parse_sweep_spec(make_flags({"--prune=cf"})), std::exception);
+    EXPECT_THROW(parse_sweep_spec(make_flags({"--mitigations=frobnicate"})),
+                 std::exception);
+}
+
+TEST(SweepSpec, SpecFileParsesAndCliWins) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "xs_spec_test.sweep").string();
+    {
+        std::ofstream out(path);
+        out << "# paper grid\n"
+            << "sizes = 16,32,64   # crossbar sizes\n"
+            << "sigmas = 0.05,0.10\n"
+            << "sweep-repeats = 5\n";
+    }
+    const auto flags = make_flags({"--spec=" + path, "--sizes=8"});
+    const SweepSpec spec = parse_sweep_spec(flags);
+    // CLI flag beats the file; file beats the default.
+    ASSERT_EQ(spec.sizes.size(), 1u);
+    EXPECT_EQ(spec.sizes[0], 8);
+    ASSERT_EQ(spec.sigmas.size(), 2u);
+    EXPECT_DOUBLE_EQ(spec.sigmas[0], 0.05);
+    EXPECT_EQ(spec.repeats, 5);
+    std::filesystem::remove(path);
+
+    EXPECT_THROW(parse_sweep_spec(make_flags({"--spec=/nonexistent/x.sweep"})),
+                 std::exception);
+
+    // A misspelled axis key must fail loudly, not run the default grid.
+    {
+        std::ofstream out(path);
+        out << "size = 16\n";  // typo: the key is 'sizes'
+    }
+    EXPECT_THROW(parse_sweep_spec(make_flags({"--spec=" + path})),
+                 std::exception);
+    std::filesystem::remove(path);
+}
+
+TEST(SweepManifest, LineRoundTripsDoublesExactly) {
+    CellResult r;
+    r.accuracy = 100.0 / 3.0;
+    r.nf_mean = 0.012345678901234567;
+    r.energy_pj = 98765.4321012345;
+    r.software_acc = 83.33333333333333;
+    r.tiles = 1234567;
+    r.unconverged = 3;
+    r.wall_ms = 17.25;
+
+    const std::string line = encode_manifest_line("grp/x64/r1", r);
+    std::string id;
+    CellResult back;
+    ASSERT_TRUE(decode_manifest_line(line, id, back));
+    EXPECT_EQ(id, "grp/x64/r1");
+    // Bit-exact round trip — the resume path aggregates from these.
+    EXPECT_EQ(back.accuracy, r.accuracy);
+    EXPECT_EQ(back.nf_mean, r.nf_mean);
+    EXPECT_EQ(back.energy_pj, r.energy_pj);
+    EXPECT_EQ(back.software_acc, r.software_acc);
+    EXPECT_EQ(back.tiles, r.tiles);
+    EXPECT_EQ(back.unconverged, r.unconverged);
+    EXPECT_EQ(encode_manifest_line(id, back), line);
+}
+
+TEST(SweepManifest, LoadSkipsTruncatedAndMalformedLines) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "xs_manifest_test.jsonl")
+            .string();
+    CellResult r;
+    r.accuracy = 50.0;
+    {
+        std::ofstream out(path);
+        out << encode_manifest_line("a/r0", r) << '\n';
+        out << "not json\n";
+        r.accuracy = 75.0;
+        out << encode_manifest_line("a/r0", r) << '\n';  // duplicate: last wins
+        out << encode_manifest_line("b/r1", r) << '\n';
+        out << "{\"cell\":\"trunc";  // crash mid-write
+    }
+    const auto loaded = load_manifest(path);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.at("a/r0").accuracy, 75.0);
+    EXPECT_EQ(loaded.at("b/r1").accuracy, 75.0);
+    std::filesystem::remove(path);
+}
+
+TEST(SweepSeed, DeterministicPerCellIdentity) {
+    SweepCell a;
+    a.variant = "vgg11";
+    a.xbar_size = 64;
+    SweepCell b = a;
+    EXPECT_EQ(cell_seed(11, a), cell_seed(11, b));
+    b.repeat = 1;
+    EXPECT_NE(cell_seed(11, a), cell_seed(11, b));
+    b = a;
+    b.xbar_size = 32;
+    EXPECT_NE(cell_seed(11, a), cell_seed(11, b));
+    EXPECT_NE(cell_seed(11, a), cell_seed(12, a));
+}
+
+}  // namespace
+}  // namespace xs::sweep

@@ -142,7 +142,7 @@ TEST(Gemm, ZeroInnerDimension) {
 TEST(GemmPrepacked, SerialMatchesReference) {
     // Odd sizes exercise panel tails in both dimensions and multiple
     // k-blocks (k > kPackKc).
-    for (const auto [m, n, k] : {std::tuple{16, 64, 27}, {33, 100, 300},
+    for (const auto& [m, n, k] : {std::tuple{16, 64, 27}, {33, 100, 300},
                                  {8, 16, 512}, {128, 4, 1152}}) {
         util::Rng rng(static_cast<std::uint64_t>(m + n + k));
         Tensor a({m, k}), b({k, n});
