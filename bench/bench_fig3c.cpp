@@ -2,8 +2,14 @@
 // (s = 0.8) VGG16 on the CIFAR10-like set — same protocol as Fig. 3(a) with
 // the deeper network. Paper shape: same ordering at 16/32; at 64×64 the C/F
 // curve can cross above the unpruned one.
+//
+// A thin SweepSpec driver (DESIGN.md §7): sharded, resumable, repeats
+// aggregated to mean±std (results/fig3c_vgg16_cifar10.csv).
+//
+//   ./bench_fig3c [--sizes=16,32,64] [--backends=circuit] [--shards=N]
+//                 [--resume]
 #include "core/experiments.h"
-#include "util/csv.h"
+#include "sweep/runner.h"
 #include "util/flags.h"
 
 #include <cstdio>
@@ -14,41 +20,30 @@ int main(int argc, char** argv) {
     core::ExperimentContext ctx(flags);
     const double s = ctx.sparsity_for(10);
 
-    struct Scheme {
-        const char* label;
-        prune::Method method;
-        double sparsity;
-    };
-    const Scheme schemes[] = {
-        {"unpruned", prune::Method::kNone, 0.0},
-        {"C/F", prune::Method::kChannelFilter, s},
-        {"XCS", prune::Method::kXbarColumn, s},
-        {"XRS", prune::Method::kXbarRow, s},
-    };
+    sweep::SweepSpec spec = sweep::parse_sweep_spec(flags);
+    spec.variants = {"vgg16"};
+    spec.class_counts = {10};
+    spec.prunes = {{prune::Method::kNone, 0.0},
+                   {prune::Method::kChannelFilter, s},
+                   {prune::Method::kXbarColumn, s},
+                   {prune::Method::kXbarRow, s}};
+    spec.mitigations = {{}};
+    spec.sizes = ctx.sizes();
+    spec.sigmas = {ctx.sigma()};
+    spec.repeats = ctx.eval_repeats();
 
-    util::CsvWriter csv(ctx.csv_path("fig3c_vgg16_cifar10.csv"),
-                        {"scheme", "xbar_size", "software_acc", "crossbar_acc",
-                         "nf_mean", "tiles"});
-    util::TextTable table({"scheme", "software", "16x16", "32x32", "64x64"});
+    sweep::SweepOptions opts;
+    opts.shards = flags.get_int("shards", 0);
+    opts.resume = flags.get_bool("resume", false);
+    opts.csv_name = "fig3c_vgg16_cifar10.csv";
+    opts.manifest_name = "fig3c_vgg16_cifar10_manifest.jsonl";
 
     std::printf("Fig 3(c): VGG16 / CIFAR10-like, s=%.2f — accuracy vs crossbar size\n\n",
                 s);
-    for (const auto& scheme : schemes) {
-        auto& model =
-            ctx.prepared(ctx.spec("vgg16", 10, scheme.method, scheme.sparsity));
-        std::vector<std::string> row{scheme.label,
-                                     util::fmt(model.software_accuracy) + "%"};
-        for (const auto size : ctx.sizes()) {
-            const auto eval = ctx.eval_config(model, scheme.method, size);
-            const auto r = core::evaluate_on_crossbars(model.model,
-                                                       ctx.dataset(10).test, eval);
-            csv.row(scheme.label, size, model.software_accuracy, r.accuracy,
-                    r.nf_mean, r.total_tiles);
-            row.push_back(util::fmt(r.accuracy) + "%");
-        }
-        table.add_row(row);
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(series written to results/fig3c_vgg16_cifar10.csv)\n");
+    sweep::SweepRunner runner(ctx, spec, opts);
+    const sweep::SweepSummary summary = runner.run();
+
+    std::printf("\n%s\n", sweep::accuracy_vs_size_table(summary).c_str());
+    std::printf("(aggregates written to %s)\n", summary.csv_path.c_str());
     return 0;
 }

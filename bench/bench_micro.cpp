@@ -186,6 +186,28 @@ void BM_DegradeMacMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_DegradeMacMatrix)->Arg(32)->Arg(64);
 
+// Same matrix through the bucket-calibrated fast backend (DESIGN.md §8).
+// Each iteration rebuilds the pipeline, but the calibration cache is shared
+// process-wide per config, so bucket solves run only in the first
+// iteration: the gated number is the amortized steady state a sweep sees
+// (mean + α-fold per tile), not calibration cost.
+void BM_DegradeMacMatrixFast(benchmark::State& state) {
+    const auto size = state.range(0);
+    util::Rng rng(6);
+    tensor::Tensor m({256, 128});
+    tensor::fill_normal(m, rng, 0.0f, 0.1f);
+    core::EvalConfig config;
+    config.xbar.size = size;
+    config.backend = xbar::BackendKind::kFast;
+    for (auto _ : state) {
+        core::DegradeStats stats;
+        util::Rng vr(7);
+        const auto out = core::degrade_mac_matrix(m, config, 0.4, vr, stats);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_DegradeMacMatrixFast)->Arg(32)->Arg(64);
+
 void BM_SyntheticGeneration(benchmark::State& state) {
     data::SyntheticSpec spec = data::cifar10_like(9);
     for (auto _ : state) {

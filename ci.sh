@@ -30,6 +30,30 @@ run_release() {
     "$repo_root/build-release/bench_micro" --benchmark_min_time=0.000001
     run_bench_gate
   fi
+  run_sweep_smoke
+}
+
+# Sweep smoke: a dry-run plus one tiny circuit/fast grid through the real
+# sweep_runner driver, so the backend axis, the stage pipeline, per-cell
+# budgeting, and manifest/CSV plumbing can't bit-rot unnoticed.
+run_sweep_smoke() {
+  if [[ ! -x "$repo_root/build-release/sweep_runner" ]]; then
+    return 0
+  fi
+  echo "=== sweep smoke (dry-run + one circuit/fast cell each) ==="
+  local smoke_dir="$repo_root/build-release/sweep-smoke"
+  rm -rf "$smoke_dir"
+  local smoke_flags=(--width=0.0625 --train-count=96 --test-count=48
+    --epochs=1 --batch=16 --sizes=16 --sweep-repeats=1
+    --backends=circuit,fast --out-dir="$smoke_dir"
+    --cache-dir="$smoke_dir/models")
+  "$repo_root/build-release/sweep_runner" "${smoke_flags[@]}" --dry-run
+  "$repo_root/build-release/sweep_runner" "${smoke_flags[@]}" \
+    --cell-budget-ms=120000
+  if ! grep -q ',fast,' "$smoke_dir/sweep.csv"; then
+    echo "sweep smoke: aggregate CSV is missing the backend=fast row" >&2
+    return 1
+  fi
 }
 
 # Bench regression gate: measured runs (min over 3 repetitions) diffed

@@ -5,7 +5,7 @@
 // (results/mitigation_demo.csv).
 //
 //   ./mitigation_demo [--sparsity=0.8] [--xbar=64] [--wct-percentile=0.9]
-//                     [--shards=N] [--resume]
+//                     [--backends=circuit,fast] [--shards=N] [--resume]
 #include "core/experiments.h"
 #include "sweep/runner.h"
 #include "util/csv.h"
@@ -21,7 +21,9 @@ int main(int argc, char** argv) {
     // shared --sparsity10 default.
     const double sparsity = flags.get_double("sparsity", ctx.sparsity_for(10));
 
-    sweep::SweepSpec spec;
+    // Start from the shared axis parser (picks up --backends & friends),
+    // then pin the axes this demo owns.
+    sweep::SweepSpec spec = sweep::parse_sweep_spec(flags);
     spec.variants = {flags.get_string("variant", "vgg11")};
     spec.class_counts = {10};
     spec.prunes = {{prune::Method::kChannelFilter, sparsity}};
@@ -45,10 +47,11 @@ int main(int argc, char** argv) {
                 spec.variants.front().c_str(), sparsity,
                 static_cast<long long>(spec.sizes.front()),
                 static_cast<long long>(spec.sizes.front()));
-    util::TextTable table({"mitigation", "software", "crossbar", "NF"});
+    util::TextTable table({"mitigation", "backend", "software", "crossbar", "NF"});
     for (const sweep::GroupRow& row : summary.rows) {
         if (!row.complete()) continue;
         table.add_row({row.cell.mitigation.name(),
+                       xbar::backend_name(row.cell.backend),
                        util::fmt(row.software_acc) + "%",
                        util::fmt(row.acc_mean) + "±" + util::fmt(row.acc_std) + "%",
                        util::fmt(row.nf_mean, 4)});

@@ -5,6 +5,13 @@
 //   ./sweep_runner --variants=vgg11 --prune=none,cf:0.8 --sizes=16,32,64
 //       --mitigations=none,rearrange --sweep-repeats=3 --shards=4
 //   ./sweep_runner --spec=grid.sweep --resume
+//   ./sweep_runner --spec=grid.sweep --dry-run
+//   ./sweep_runner --backends=circuit,fast --cell-budget-ms=60000
+//
+// --dry-run prints the expanded grid (cell count, axis values, distinct
+// models to prepare) and exits without training or executing anything.
+// --cell-budget-ms=N warns on cells slower than N ms (and fails the sweep
+// with --cell-budget-abort); every cell's wall time lands in the manifest.
 //
 // Spec files hold the same keys as the flags, one `key = value` per line
 // ('#' comments); CLI flags override the file. Experiment-scale flags
@@ -22,12 +29,19 @@ int main(int argc, char** argv) {
     core::ExperimentContext ctx(flags);
 
     sweep::SweepSpec spec = sweep::parse_sweep_spec(flags);
+    if (flags.get_bool("dry-run", false)) {
+        std::printf("%s", sweep::dry_run_report(ctx, spec).c_str());
+        return 0;
+    }
+
     sweep::SweepOptions opts;
     opts.shards = flags.get_int("shards", 0);
     opts.resume = flags.get_bool("resume", false);
     opts.max_cells = flags.get_int("max-cells", -1);
     opts.csv_name = flags.get_string("csv", "sweep.csv");
     opts.manifest_name = flags.get_string("manifest", "sweep_manifest.jsonl");
+    opts.cell_budget_ms = flags.get_double("cell-budget-ms", 0.0);
+    opts.cell_budget_abort = flags.get_bool("cell-budget-abort", false);
 
     std::printf("sweep: %s\n", spec.describe().c_str());
     sweep::SweepRunner runner(ctx, spec, opts);
@@ -39,6 +53,9 @@ int main(int argc, char** argv) {
                 static_cast<long long>(summary.cells_executed),
                 static_cast<long long>(summary.cells_resumed),
                 static_cast<long long>(summary.cells_pending));
+    if (opts.cell_budget_ms > 0.0)
+        std::printf("cells over %.0f ms budget: %lld\n", opts.cell_budget_ms,
+                    static_cast<long long>(summary.cells_over_budget));
     std::printf("aggregate CSV: %s\nmanifest:      %s\n",
                 summary.csv_path.c_str(), summary.manifest_path.c_str());
     if (summary.cells_pending > 0)

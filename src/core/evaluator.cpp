@@ -6,9 +6,8 @@
 #include "nn/infer.h"
 #include "tensor/ops.h"
 #include "util/parallel.h"
-#include "xbar/degrade.h"
 #include "xbar/mapper.h"
-#include "xbar/quantize.h"
+#include "xbar/pipeline.h"
 
 #include <algorithm>
 #include <future>
@@ -76,64 +75,46 @@ MatrixPlan build_matrix_plan(const Tensor& matrix, const EvalConfig& config) {
     return plan;
 }
 
-// Per-worker scratch for the tile loop: tile/tensor buffers, the solver
-// workspace (carries warm-start state from tile to tile), and the column
-// sums used by the compensation pass. One instance per pool worker slot so
-// the steady state performs no per-tile heap allocation.
+// Per-worker scratch for the tile loop: tile/tensor buffers plus the stage
+// pipeline's context (solver workspace with warm-start state, G′ buffers,
+// compensation column sums). One instance per pool worker slot so the
+// steady state performs no per-tile heap allocation.
 struct TileWorker {
     Tensor sub, tile_w;
     Tensor g_pos, g_neg;
-    xbar::DegradeWorkspace ws;
-    xbar::TileDegradeResult pos, neg;
-    std::vector<double> col_before, col_after;
+    xbar::TileStageContext ctx;
 };
-
-// Digital column gain: scale G′ columns so the calibration-point current
-// matches the pre-parasitic array (per differential array).
-void compensate_columns(Tensor& g_eff, const Tensor& g_before,
-                        std::int64_t n, TileWorker& tw) {
-    tw.col_before.assign(static_cast<std::size_t>(n), 0.0);
-    tw.col_after.assign(static_cast<std::size_t>(n), 0.0);
-    const float* gb = g_before.data();
-    float* ge = g_eff.data();
-    for (std::int64_t i = 0; i < n; ++i) {
-        const float* gbi = gb + i * n;
-        const float* gei = ge + i * n;
-        for (std::int64_t j = 0; j < n; ++j) {
-            tw.col_before[static_cast<std::size_t>(j)] += gbi[j];
-            tw.col_after[static_cast<std::size_t>(j)] += gei[j];
-        }
-    }
-    // Reuse col_after as the per-column gain, then scale in one row-major
-    // pass (a per-column inner loop would stride through the whole array n
-    // times).
-    for (std::int64_t j = 0; j < n; ++j) {
-        const double after = tw.col_after[static_cast<std::size_t>(j)];
-        tw.col_after[static_cast<std::size_t>(j)] =
-            after <= 0.0
-                ? 1.0
-                : tw.col_before[static_cast<std::size_t>(j)] / after;
-    }
-    for (std::int64_t i = 0; i < n; ++i) {
-        float* gei = ge + i * n;
-        for (std::int64_t j = 0; j < n; ++j)
-            gei[j] *= static_cast<float>(tw.col_after[static_cast<std::size_t>(j)]);
-    }
-}
 
 // Per-worker scratch shared across layers and Monte-Carlo repeats: create
 // one per top-level degrade call chain so repeats reuse the grown buffers.
 using TileWorkers = std::vector<TileWorker>;
 
+// The non-ideality stage list for `config` (xbar/pipeline.h). Built once
+// per top-level degrade call chain and shared across layers and repeats —
+// the fast backend's calibration cache amortizes over the whole run.
+xbar::TilePipeline build_pipeline(const EvalConfig& config) {
+    xbar::PipelineSpec spec;
+    spec.xbar = config.xbar;
+    spec.conductance_levels = config.conductance_levels;
+    spec.include_variation = config.include_variation;
+    spec.faults = config.faults;
+    spec.include_parasitics = config.include_parasitics;
+    spec.compensate_columns = config.compensate_columns;
+    spec.warm_start_solves = config.warm_start_solves;
+    spec.backend = config.backend;
+    spec.fast_buckets = config.fast_buckets;
+    return xbar::build_tile_pipeline(spec);
+}
+
 Tensor degrade_with_plan(const MatrixPlan& plan, const Tensor& matrix,
-                         const EvalConfig& config, double w_ref,
+                         const EvalConfig& config,
+                         const xbar::TilePipeline& pipeline, double w_ref,
                          util::Rng& rng, DegradeStats& stats,
                          TileWorkers& workers) {
     const std::int64_t n = config.xbar.size;
     const auto& tiles = plan.tiling.tiles;
     const Tensor& source = plan.mapping_target(matrix);
     const xbar::ConductanceMapper mapper(config.xbar.device, w_ref);
-    const xbar::CircuitSolver solver(config.xbar);
 
     Tensor degraded = source;  // scatter target; tiles cover disjoint entries
     // Pre-split one RNG per tile so the stochastic draws stay deterministic
@@ -161,38 +142,12 @@ Tensor degrade_with_plan(const MatrixPlan& plan, const Tensor& matrix,
                 const map::Tile& tile = tiles[t];
                 map::extract_tile_into(source, tile, n, tw.sub);
                 mapper.to_differential(tw.sub, tw.g_pos, tw.g_neg);
-                if (config.conductance_levels >= 2) {
-                    xbar::quantize_conductance(tw.g_pos, config.xbar.device,
-                                               config.conductance_levels);
-                    xbar::quantize_conductance(tw.g_neg, config.xbar.device,
-                                               config.conductance_levels);
-                }
-                if (config.include_variation) {
-                    xbar::apply_variation(tw.g_pos, config.xbar.device, tile_rngs[t]);
-                    xbar::apply_variation(tw.g_neg, config.xbar.device, tile_rngs[t]);
-                }
-                if (config.faults.any()) {
-                    xbar::apply_stuck_faults(tw.g_pos, config.xbar.device,
-                                             config.faults, tile_rngs[t]);
-                    xbar::apply_stuck_faults(tw.g_neg, config.xbar.device,
-                                             config.faults, tile_rngs[t]);
-                }
-                if (config.include_parasitics) {
-                    if (!config.warm_start_solves) tw.ws.solve.invalidate();
-                    xbar::degrade_tile(tw.g_pos, solver, tw.ws, tw.pos);
-                    if (!config.warm_start_solves) tw.ws.solve.invalidate();
-                    xbar::degrade_tile(tw.g_neg, solver, tw.ws, tw.neg);
-                    tile_ok[t] = tw.pos.converged && tw.neg.converged;
-                    if (config.compensate_columns) {
-                        compensate_columns(tw.pos.g_eff, tw.g_pos, n, tw);
-                        compensate_columns(tw.neg.g_eff, tw.g_neg, n, tw);
-                    }
-                    tile_nf[t] = 0.5 * (tw.pos.nf + tw.neg.nf);
-                    mapper.from_differential_into(tw.pos.g_eff, tw.neg.g_eff,
-                                                  tw.tile_w);
-                } else {
-                    mapper.from_differential_into(tw.g_pos, tw.g_neg, tw.tile_w);
-                }
+                tw.ctx.begin_tile(tw.g_pos, tw.g_neg, tile_rngs[t]);
+                pipeline.run(tw.ctx);
+                tile_nf[t] = tw.ctx.nf;
+                tile_ok[t] = tw.ctx.converged;
+                mapper.from_differential_into(*tw.ctx.pos, *tw.ctx.neg,
+                                              tw.tile_w);
                 // Tiles partition the matrix, so concurrent scatters are
                 // write-disjoint.
                 map::scatter_tile(degraded, tile, tw.tile_w);
@@ -278,8 +233,10 @@ Tensor degrade_mac_matrix(const Tensor& matrix, const EvalConfig& config,
                           double w_ref, util::Rng& rng, DegradeStats& stats) {
     tensor::check(w_ref > 0.0, "degrade_mac_matrix: w_ref must be positive");
     const MatrixPlan plan = build_matrix_plan(matrix, config);
+    const xbar::TilePipeline pipeline = build_pipeline(config);
     TileWorkers workers;
-    return degrade_with_plan(plan, matrix, config, w_ref, rng, stats, workers);
+    return degrade_with_plan(plan, matrix, config, pipeline, w_ref, rng, stats,
+                             workers);
 }
 
 std::map<std::string, Tensor> degrade_model_matrices(
@@ -287,6 +244,7 @@ std::map<std::string, Tensor> degrade_model_matrices(
     std::vector<LayerEvalStats>* layer_stats) {
     std::map<std::string, Tensor> result;
     const std::vector<LayerPlan> plans = build_layer_plans(model, config);
+    const xbar::TilePipeline pipeline = build_pipeline(config);
     util::Rng rng(config.seed);
     std::uint64_t layer_tag = 1;
     TileWorkers workers;
@@ -295,8 +253,8 @@ std::map<std::string, Tensor> degrade_model_matrices(
         util::Rng layer_rng = rng.split(layer_tag++);
         DegradeStats stats;
         Tensor degraded =
-            degrade_with_plan(lp.plan, lp.matrix, config, lp.w_ref, layer_rng,
-                              stats, workers);
+            degrade_with_plan(lp.plan, lp.matrix, config, pipeline, lp.w_ref,
+                              layer_rng, stats, workers);
         if (layer_stats) layer_stats->push_back(layer_stats_of(lp, stats));
         result.emplace(lp.layer->name(), std::move(degraded));
     }
@@ -313,6 +271,10 @@ EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
     tensor::check(engine.mappable_count() == plans.size(),
                   "evaluate_on_crossbars: engine/plan mappable-layer mismatch");
     TileWorkers workers;  // producer-owned scratch, reused across repeats
+    // One stage pipeline for every layer and repeat: the stages are
+    // immutable and the fast backend's calibration cache is thread-safe, so
+    // the producer thread shares it too.
+    const xbar::TilePipeline pipeline = build_pipeline(config);
 
     // Overlapped repeat pipeline (DESIGN.md §6): while repeat r's inference
     // runs on this thread, a producer thread degrades repeat r+1's matrices
@@ -340,8 +302,8 @@ EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
             util::Rng layer_rng = rng.split(layer_tag++);
             out.weights[i] =
                 degrade_with_plan(plans[i].plan, plans[i].matrix, config,
-                                  plans[i].w_ref, layer_rng, out.stats[i],
-                                  workers);
+                                  pipeline, plans[i].w_ref, layer_rng,
+                                  out.stats[i], workers);
         }
     };
 

@@ -9,6 +9,7 @@
 #include "nn/sequential.h"
 #include "nn/trainer.h"
 #include "prune/prune.h"
+#include "xbar/backend.h"
 #include "xbar/config.h"
 #include "xbar/faults.h"
 
@@ -44,6 +45,13 @@ struct EvalConfig {
     // strictly bit-identical results across machines with different worker
     // counts require disabling this (each solve then starts cold).
     bool warm_start_solves = true;
+    // Which crossbar backend degrades each tile (xbar/backend.h, DESIGN.md
+    // §8): kCircuit = exact parasitic solve (fidelity reference), kFast =
+    // bucket-calibrated linear surrogate (~O(X²) per tile), kIdeal =
+    // pass-through (equivalent to include_parasitics = false).
+    xbar::BackendKind backend = xbar::BackendKind::kCircuit;
+    // Mean-conductance calibration buckets for the fast backend's α cache.
+    std::int64_t fast_buckets = 64;
 
     // ---- optional extensions (all off by default) ----
     // Finite write precision: number of programmable conductance levels

@@ -1,5 +1,7 @@
 #include "map/tiling.h"
 
+#include <cstring>
+
 namespace xs::map {
 
 using tensor::check;
@@ -89,15 +91,34 @@ Tiling tile_xrs(const Tensor& matrix, std::int64_t xbar_size) {
 
 void extract_tile_into(const Tensor& matrix, const Tile& tile,
                        std::int64_t xbar_size, Tensor& out) {
-    if (!(out.rank() == 2 && out.dim(0) == xbar_size && out.dim(1) == xbar_size)) {
+    if (!(out.rank() == 2 && out.dim(0) == xbar_size && out.dim(1) == xbar_size))
         out = Tensor({xbar_size, xbar_size}, 0.0f);
-    } else {
-        out.zero();
+    const std::int64_t n_rows = static_cast<std::int64_t>(tile.rows.size());
+    const std::int64_t n_cols = static_cast<std::int64_t>(tile.cols.size());
+    const float* src = matrix.data();
+    const std::int64_t ld = matrix.dim(1);
+    float* dst = out.data();
+    // Index lists are ascending; consecutive columns (every dense tile, and
+    // most packed ones) copy as one memcpy per row.
+    const bool contiguous =
+        n_cols > 0 && tile.cols.back() - tile.cols.front() + 1 == n_cols;
+    for (std::int64_t i = 0; i < n_rows; ++i) {
+        const float* srow = src + tile.rows[static_cast<std::size_t>(i)] * ld;
+        float* drow = dst + i * xbar_size;
+        if (contiguous) {
+            std::memcpy(drow, srow + tile.cols.front(),
+                        static_cast<std::size_t>(n_cols) * sizeof(float));
+        } else {
+            for (std::int64_t j = 0; j < n_cols; ++j)
+                drow[j] = srow[tile.cols[static_cast<std::size_t>(j)]];
+        }
+        // Zero only the right padding (instead of pre-zeroing the tile).
+        for (std::int64_t j = n_cols; j < xbar_size; ++j) drow[j] = 0.0f;
     }
-    for (std::size_t i = 0; i < tile.rows.size(); ++i)
-        for (std::size_t j = 0; j < tile.cols.size(); ++j)
-            out.at(static_cast<std::int64_t>(i), static_cast<std::int64_t>(j)) =
-                matrix.at(tile.rows[i], tile.cols[j]);
+    for (std::int64_t i = n_rows; i < xbar_size; ++i) {
+        float* drow = dst + i * xbar_size;
+        for (std::int64_t j = 0; j < xbar_size; ++j) drow[j] = 0.0f;
+    }
 }
 
 Tensor extract_tile(const Tensor& matrix, const Tile& tile, std::int64_t xbar_size) {
@@ -107,10 +128,25 @@ Tensor extract_tile(const Tensor& matrix, const Tile& tile, std::int64_t xbar_si
 }
 
 void scatter_tile(Tensor& matrix, const Tile& tile, const Tensor& sub) {
-    for (std::size_t i = 0; i < tile.rows.size(); ++i)
-        for (std::size_t j = 0; j < tile.cols.size(); ++j)
-            matrix.at(tile.rows[i], tile.cols[j]) =
-                sub.at(static_cast<std::int64_t>(i), static_cast<std::int64_t>(j));
+    const std::int64_t n_rows = static_cast<std::int64_t>(tile.rows.size());
+    const std::int64_t n_cols = static_cast<std::int64_t>(tile.cols.size());
+    float* dst = matrix.data();
+    const std::int64_t ld = matrix.dim(1);
+    const float* src = sub.data();
+    const std::int64_t sld = sub.dim(1);
+    const bool contiguous =
+        n_cols > 0 && tile.cols.back() - tile.cols.front() + 1 == n_cols;
+    for (std::int64_t i = 0; i < n_rows; ++i) {
+        float* drow = dst + tile.rows[static_cast<std::size_t>(i)] * ld;
+        const float* srow = src + i * sld;
+        if (contiguous) {
+            std::memcpy(drow + tile.cols.front(), srow,
+                        static_cast<std::size_t>(n_cols) * sizeof(float));
+        } else {
+            for (std::int64_t j = 0; j < n_cols; ++j)
+                drow[tile.cols[static_cast<std::size_t>(j)]] = srow[j];
+        }
+    }
 }
 
 }  // namespace xs::map

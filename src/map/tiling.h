@@ -11,6 +11,12 @@
 // A Tile holds the matrix indices it covers; entry (i, j) of the tile is
 // matrix(rows[i], cols[j]), zero-padded beyond the index lists. This uniform
 // representation lets the evaluator treat all schemes identically.
+//
+// Index lists are strictly ascending — every producer here emits them that
+// way, and extract_tile_into/scatter_tile rely on it: their memcpy fast
+// path detects contiguous columns as cols.back() − cols.front() + 1 ==
+// cols.size(), which a permuted list would satisfy while needing the
+// gather/scatter path. Keep new producers ascending.
 #pragma once
 
 #include "tensor/tensor.h"

@@ -42,6 +42,7 @@ bool find_number(const std::string& line, const char* key, double& out) {
 
 std::string encode_manifest_line(const std::string& cell_id, const CellResult& r) {
     std::string out = "{\"cell\":\"" + cell_id + "\"";
+    out += ",\"backend\":\"" + r.backend + "\"";
     append_field(out, "accuracy", r.accuracy);
     append_field(out, "nf_mean", r.nf_mean);
     append_field(out, "energy_pj", r.energy_pj);
@@ -71,6 +72,14 @@ bool decode_manifest_line(const std::string& line, std::string& cell_id,
     if (!find_number(line, "tiles", tiles)) return false;
     if (!find_number(line, "unconverged", unconverged)) return false;
     find_number(line, "wall_ms", parsed.wall_ms);  // informational; optional
+    // Optional (manifests predate the backend axis): "circuit" otherwise.
+    const std::string bk_needle = "\"backend\":\"";
+    if (const auto bk_pos = line.find(bk_needle); bk_pos != std::string::npos) {
+        const auto bk_start = bk_pos + bk_needle.size();
+        const auto bk_end = line.find('"', bk_start);
+        if (bk_end == std::string::npos) return false;
+        parsed.backend = line.substr(bk_start, bk_end - bk_start);
+    }
     parsed.tiles = static_cast<std::int64_t>(tiles);
     parsed.unconverged = static_cast<std::int64_t>(unconverged);
 

@@ -14,8 +14,8 @@
 
 namespace xs::sweep {
 
-// Everything a finished cell contributes to aggregation (plus wall_ms,
-// which is informational only and never aggregated).
+// Everything a finished cell contributes to aggregation (plus wall_ms and
+// backend, which are informational only and never aggregated).
 struct CellResult {
     double accuracy = 0.0;      // % on the test set
     double nf_mean = 0.0;       // tile-average non-ideality factor
@@ -24,6 +24,9 @@ struct CellResult {
     std::int64_t tiles = 0;
     std::int64_t unconverged = 0;
     double wall_ms = 0.0;
+    // Crossbar backend that produced this cell (xbar/backend.h). Manifests
+    // predating the backend axis decode to the then-only "circuit".
+    std::string backend = "circuit";
 };
 
 // {"cell":"<id>","accuracy":...,...} — one line, no trailing newline.

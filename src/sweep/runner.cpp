@@ -37,6 +37,7 @@ CellResult run_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
     core::EvalConfig eval = ctx.eval_config(model, cell.prune.method,
                                             cell.xbar_size,
                                             cell.mitigation.rearrange);
+    eval.backend = cell.backend;
     eval.xbar.device.sigma_variation = cell.sigma;
     eval.xbar.parasitics.r_driver *= cell.parasitic_scale;
     eval.xbar.parasitics.r_wire_row *= cell.parasitic_scale;
@@ -54,6 +55,7 @@ CellResult run_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
         model.model, cell.prune.method, eval.xbar, map::EnergyConfig{});
 
     CellResult out;
+    out.backend = xbar::backend_name(cell.backend);
     out.accuracy = r.accuracy;
     out.nf_mean = r.nf_mean;
     out.energy_pj = energy.total_energy_pj();
@@ -66,12 +68,30 @@ CellResult run_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
     return out;
 }
 
+// The distinct models a set of cells resolves to, deduplicated by spec key
+// in first-use order — shared by the runner's prepare phase and the
+// --dry-run preview so the preview can never diverge from what actually
+// trains.
+std::vector<core::ModelSpec> distinct_model_specs(
+    const core::ExperimentContext& ctx,
+    const std::vector<const SweepCell*>& cells) {
+    std::set<std::string> seen;
+    std::vector<core::ModelSpec> specs;
+    for (const SweepCell* c : cells) {
+        core::ModelSpec ms = ctx.spec(c->variant, c->num_classes,
+                                      c->prune.method, c->prune.sparsity,
+                                      c->mitigation.wct);
+        if (seen.insert(ms.key()).second) specs.push_back(std::move(ms));
+    }
+    return specs;
+}
+
 }  // namespace
 
 std::uint64_t cell_seed(std::uint64_t master_seed, const SweepCell& cell) {
     std::uint64_t h = 1469598103934665603ULL ^
                       (master_seed * 0x9E3779B97F4A7C15ULL);
-    for (const char ch : cell.group_id())
+    for (const char ch : cell.seed_key())
         h = (h ^ static_cast<unsigned char>(ch)) * 1099511628211ULL;
     return h + static_cast<std::uint64_t>(cell.repeat) * 0x9E3779B97F4A7C15ULL;
 }
@@ -90,9 +110,14 @@ SweepSummary SweepRunner::run() {
     // Refuse to resume under a different experiment configuration — mixing
     // two configurations' cells into one aggregate would be silent and
     // plausible-looking. The fingerprint covers every context field that
-    // changes cell results, plus the solve-determinism mode.
-    const std::string config_fp =
-        ctx_.fingerprint() + (spec_.warm_start_solves ? "/warm" : "/cold");
+    // changes cell results, the solve-determinism mode, and a sampler tag:
+    // bump the tag whenever the Rng draw stream changes (e.g. the
+    // Box–Muller → ziggurat switch), so a manifest recorded under the old
+    // sampler refuses to resume instead of mixing two draw universes into
+    // one CSV no fresh run could reproduce.
+    const std::string config_fp = ctx_.fingerprint() +
+                                  (spec_.warm_start_solves ? "/warm" : "/cold") +
+                                  "/rng-zig128";
     std::map<std::string, CellResult> results;
     std::string recorded_fp;
     if (opts_.resume) {
@@ -125,14 +150,11 @@ SweepSummary SweepRunner::run() {
     // across the whole pool here, no shard ever stalls on another shard's
     // training, and a grid never retrains a shared model twice.
     {
-        std::set<std::string> seen;
-        for (const std::size_t i : pending) {
-            const SweepCell& c = cells[i];
-            const core::ModelSpec ms =
-                ctx_.spec(c.variant, c.num_classes, c.prune.method,
-                          c.prune.sparsity, c.mitigation.wct);
-            if (seen.insert(ms.key()).second) ctx_.prepared(ms);
-        }
+        std::vector<const SweepCell*> pending_cells;
+        pending_cells.reserve(pending.size());
+        for (const std::size_t i : pending) pending_cells.push_back(&cells[i]);
+        for (const core::ModelSpec& ms : distinct_model_specs(ctx_, pending_cells))
+            ctx_.prepared(ms);
     }
 
     // Shard phase: shard s owns pending indices s, s+shards, s+2·shards, …
@@ -145,6 +167,7 @@ SweepSummary SweepRunner::run() {
     std::vector<CellResult> executed(pending.size());
     std::vector<std::exception_ptr> errors(nshards);
     std::atomic<std::int64_t> completed{0};
+    std::atomic<std::int64_t> over_budget{0};
     util::parallel_for_workers(
         0, nshards, [&](std::size_t, std::size_t lo, std::size_t hi) {
             for (std::size_t s = lo; s < hi; ++s) {
@@ -159,6 +182,14 @@ SweepSummary SweepRunner::run() {
                             std::to_string(pending.size()) + " " + cell.id() +
                             ": acc " + util::fmt(executed[p].accuracy) + "% (" +
                             util::fmt(executed[p].wall_ms, 0) + " ms)");
+                        if (opts_.cell_budget_ms > 0.0 &&
+                            executed[p].wall_ms > opts_.cell_budget_ms) {
+                            ++over_budget;
+                            util::log_warn(
+                                "sweep cell " + cell.id() + " over budget: " +
+                                util::fmt(executed[p].wall_ms, 0) + " ms > " +
+                                util::fmt(opts_.cell_budget_ms, 0) + " ms");
+                        }
                     }
                 } catch (...) {
                     errors[s] = std::current_exception();
@@ -173,6 +204,14 @@ SweepSummary SweepRunner::run() {
                                      summary.manifest_path +
                                      "' failed; resume state is incomplete");
     summary.cells_executed = completed.load();
+    summary.cells_over_budget = over_budget.load();
+    // Abort only after every dispatched cell is recorded: an interrupted
+    // budget run must stay resumable.
+    tensor::check(!(opts_.cell_budget_abort && summary.cells_over_budget > 0),
+                  "sweep: " + std::to_string(summary.cells_over_budget) +
+                      " cell(s) exceeded the " +
+                      util::fmt(opts_.cell_budget_ms, 0) +
+                      " ms budget (--cell-budget-abort)");
     for (std::size_t p = 0; p < pending.size(); ++p)
         results[cells[pending[p]].id()] = executed[p];
 
@@ -216,15 +255,17 @@ SweepSummary SweepRunner::run() {
     // order — the bytes depend solely on the grid and the cell results.
     util::CsvWriter csv(summary.csv_path,
                         {"variant", "classes", "method", "sparsity",
-                         "mitigation", "xbar_size", "sigma", "parasitic_scale",
-                         "p_stuck_min", "p_stuck_max", "repeats",
-                         "software_acc", "acc_mean", "acc_std", "nf_mean",
-                         "nf_std", "energy_pj", "tiles", "unconverged"});
+                         "mitigation", "backend", "xbar_size", "sigma",
+                         "parasitic_scale", "p_stuck_min", "p_stuck_max",
+                         "repeats", "software_acc", "acc_mean", "acc_std",
+                         "nf_mean", "nf_std", "energy_pj", "tiles",
+                         "unconverged"});
     for (const GroupRow& row : summary.rows) {
         if (!row.complete()) continue;
         const SweepCell& c = row.cell;
         csv.row(c.variant, c.num_classes, prune::method_name(c.prune.method),
-                fmt_g(c.prune.sparsity), c.mitigation.name(), c.xbar_size,
+                fmt_g(c.prune.sparsity), c.mitigation.name(),
+                xbar::backend_name(c.backend), c.xbar_size,
                 fmt_g(c.sigma), fmt_g(c.parasitic_scale), fmt_g(c.faults.p_stuck_min),
                 fmt_g(c.faults.p_stuck_max), row.repeats_done,
                 util::fmt(row.software_acc, 4), util::fmt(row.acc_mean, 4),
@@ -275,6 +316,63 @@ std::string accuracy_vs_size_table(const SweepSummary& summary) {
         table.add_row(std::move(cells));
     }
     return table.str();
+}
+
+std::string dry_run_report(const core::ExperimentContext& ctx,
+                           const SweepSpec& spec) {
+    std::ostringstream os;
+    const auto join = [&os](const char* name, const auto& values,
+                            const auto& fmt_one) {
+        os << "  " << name << " = ";
+        bool first = true;
+        for (const auto& v : values) {
+            if (!first) os << ",";
+            os << fmt_one(v);
+            first = false;
+        }
+        os << "\n";
+    };
+    os << "dry run: " << spec.describe() << "\n";
+    join("variants", spec.variants, [](const std::string& v) { return v; });
+    join("classes", spec.class_counts,
+         [](std::int64_t v) { return std::to_string(v); });
+    join("prune", spec.prunes, [](const PruneSetting& p) {
+        std::string s = prune::method_name(p.method);
+        if (p.method != prune::Method::kNone) s += ":" + fmt_g(p.sparsity);
+        return s;
+    });
+    join("mitigations", spec.mitigations,
+         [](const Mitigation& m) { return m.name(); });
+    join("sizes", spec.sizes, [](std::int64_t v) { return std::to_string(v); });
+    join("sigmas", spec.sigmas, [](double v) { return fmt_g(v); });
+    join("parasitic-scales", spec.parasitic_scales,
+         [](double v) { return fmt_g(v); });
+    join("faults", spec.faults, [](const FaultSetting& f) {
+        return fmt_g(f.p_stuck_min) + ":" + fmt_g(f.p_stuck_max);
+    });
+    join("backends", spec.backends, [](xbar::BackendKind b) {
+        return std::string(xbar::backend_name(b));
+    });
+    os << "  sweep-repeats = " << spec.repeats << "\n";
+    os << "  warm-start = " << (spec.warm_start_solves ? "true" : "false")
+       << "\n";
+
+    const std::vector<SweepCell> cells = spec.expand();
+    os << "cells: " << cells.size() << " ("
+       << (spec.repeats ? cells.size() / static_cast<std::size_t>(spec.repeats)
+                        : 0)
+       << " groups x " << spec.repeats << " repeats)\n";
+
+    // Distinct models the runner's prepare phase would train or load, in
+    // first-use order.
+    std::vector<const SweepCell*> cell_ptrs;
+    cell_ptrs.reserve(cells.size());
+    for (const SweepCell& c : cells) cell_ptrs.push_back(&c);
+    const std::vector<core::ModelSpec> specs =
+        distinct_model_specs(ctx, cell_ptrs);
+    os << "models to prepare: " << specs.size() << "\n";
+    for (const core::ModelSpec& ms : specs) os << "  " << ms.key() << "\n";
+    return os.str();
 }
 
 }  // namespace xs::sweep

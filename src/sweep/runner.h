@@ -31,6 +31,15 @@ struct SweepOptions {
     // Smoke runs and the resume tests use this as a deterministic
     // mid-sweep interruption.
     std::int64_t max_cells = -1;
+    // Per-cell wall-time budget in milliseconds; 0 disables budgeting.
+    // Every cell's elapsed ms is recorded in the manifest (wall_ms) either
+    // way; cells over budget log a warning and count into
+    // SweepSummary::cells_over_budget.
+    double cell_budget_ms = 0.0;
+    // Escalate budget overruns to a hard failure: the sweep still finishes
+    // its dispatched cells (and records them in the manifest, so --resume
+    // loses nothing), then throws listing the overrun count.
+    bool cell_budget_abort = false;
 };
 
 // One aggregation group (= one CSV row): all repeats of a grid point.
@@ -54,12 +63,16 @@ struct SweepSummary {
     std::int64_t cells_executed = 0;
     std::int64_t cells_resumed = 0;   // taken from the manifest
     std::int64_t cells_pending = 0;   // skipped by max_cells
+    std::int64_t cells_over_budget = 0;  // executed cells over cell_budget_ms
     std::string csv_path;
     std::string manifest_path;
 };
 
 // Deterministic per-cell RNG seed: a function of the master seed and the
-// cell's identity only (FNV-1a over the group id, offset by the repeat).
+// cell's identity only (FNV-1a over the cell's seed_key, offset by the
+// repeat). The backend axis is deliberately excluded: cells differing only
+// in backend evaluate the same stochastic draws, so backend comparisons
+// isolate model error.
 std::uint64_t cell_seed(std::uint64_t master_seed, const SweepCell& cell);
 
 class SweepRunner {
@@ -80,5 +93,11 @@ private:
 // Paper-style accuracy-vs-crossbar-size table: one row per group modulo the
 // size axis, one column per size ("mean±std" cells; incomplete groups "--").
 std::string accuracy_vs_size_table(const SweepSummary& summary);
+
+// Expanded-grid preview for --dry-run: per-axis values, cell/group counts,
+// the distinct models the grid would prepare (train or load), and the
+// backends exercised. Pure formatting — nothing is trained or executed.
+std::string dry_run_report(const core::ExperimentContext& ctx,
+                           const SweepSpec& spec);
 
 }  // namespace xs::sweep

@@ -93,22 +93,47 @@ std::string Mitigation::name() const {
     return "none";
 }
 
-std::string SweepCell::group_id() const { return label(true, false); }
+namespace {
 
-std::string SweepCell::label(bool with_size, bool elide_defaults) const {
+// Shared label builder: group_id() and seed_key() differ only in whether the
+// backend axis participates (seed_key() omits it so backends share draws).
+std::string cell_label(const SweepCell& cell, bool with_size,
+                       bool elide_defaults, bool with_backend) {
     const SweepCell defaults;
     std::ostringstream os;
-    os << variant << "-c" << num_classes << "/" << prune::method_name(prune.method);
-    if (prune.method != prune::Method::kNone) os << ":" << fmt_g(prune.sparsity);
-    os << "/" << mitigation.name();
-    if (with_size) os << "/x" << xbar_size;
-    if (!elide_defaults || sigma != defaults.sigma) os << "/sig" << fmt_g(sigma);
-    if (!elide_defaults || parasitic_scale != defaults.parasitic_scale)
-        os << "/par" << fmt_g(parasitic_scale);
-    if (!elide_defaults || faults.p_stuck_min != defaults.faults.p_stuck_min ||
-        faults.p_stuck_max != defaults.faults.p_stuck_max)
-        os << "/f" << fmt_g(faults.p_stuck_min) << ":" << fmt_g(faults.p_stuck_max);
+    os << cell.variant << "-c" << cell.num_classes << "/"
+       << prune::method_name(cell.prune.method);
+    if (cell.prune.method != prune::Method::kNone)
+        os << ":" << fmt_g(cell.prune.sparsity);
+    os << "/" << cell.mitigation.name();
+    if (with_size) os << "/x" << cell.xbar_size;
+    if (!elide_defaults || cell.sigma != defaults.sigma)
+        os << "/sig" << fmt_g(cell.sigma);
+    if (!elide_defaults || cell.parasitic_scale != defaults.parasitic_scale)
+        os << "/par" << fmt_g(cell.parasitic_scale);
+    if (!elide_defaults ||
+        cell.faults.p_stuck_min != defaults.faults.p_stuck_min ||
+        cell.faults.p_stuck_max != defaults.faults.p_stuck_max)
+        os << "/f" << fmt_g(cell.faults.p_stuck_min) << ":"
+           << fmt_g(cell.faults.p_stuck_max);
+    // Unlike the other axes the default backend is elided even from
+    // group_id(): circuit cells keep their pre-backend-axis ids, so
+    // manifests recorded before the axis existed still resume.
+    if (with_backend && cell.backend != defaults.backend)
+        os << "/bk-" << xbar::backend_name(cell.backend);
     return os.str();
+}
+
+}  // namespace
+
+std::string SweepCell::group_id() const { return cell_label(*this, true, false, true); }
+
+std::string SweepCell::seed_key() const {
+    return cell_label(*this, true, false, false);
+}
+
+std::string SweepCell::label(bool with_size, bool elide_defaults) const {
+    return cell_label(*this, with_size, elide_defaults, true);
 }
 
 std::string SweepCell::id() const {
@@ -125,19 +150,21 @@ std::vector<SweepCell> SweepSpec::expand() const {
                         for (const auto sigma : sigmas)
                             for (const auto scale : parasitic_scales)
                                 for (const auto& fault : faults)
-                                    for (std::int64_t r = 0; r < repeats; ++r) {
-                                        SweepCell c;
-                                        c.variant = variant;
-                                        c.num_classes = classes;
-                                        c.prune = prune;
-                                        c.mitigation = mitigation;
-                                        c.xbar_size = size;
-                                        c.sigma = sigma;
-                                        c.parasitic_scale = scale;
-                                        c.faults = fault;
-                                        c.repeat = r;
-                                        cells.push_back(std::move(c));
-                                    }
+                                    for (const auto backend : backends)
+                                        for (std::int64_t r = 0; r < repeats; ++r) {
+                                            SweepCell c;
+                                            c.variant = variant;
+                                            c.num_classes = classes;
+                                            c.prune = prune;
+                                            c.mitigation = mitigation;
+                                            c.xbar_size = size;
+                                            c.sigma = sigma;
+                                            c.parasitic_scale = scale;
+                                            c.faults = fault;
+                                            c.backend = backend;
+                                            c.repeat = r;
+                                            cells.push_back(std::move(c));
+                                        }
     return cells;
 }
 
@@ -154,10 +181,11 @@ std::string SweepSpec::describe() const {
     axis("sigmas", sigmas.size());
     axis("parasitic-scales", parasitic_scales.size());
     axis("faults", faults.size());
+    axis("backends", backends.size());
     os << "repeats=" << repeats << " -> "
        << variants.size() * class_counts.size() * prunes.size() *
               mitigations.size() * sizes.size() * sigmas.size() *
-              parasitic_scales.size() * faults.size() *
+              parasitic_scales.size() * faults.size() * backends.size() *
               static_cast<std::size_t>(repeats)
        << " cells";
     return os.str();
@@ -187,9 +215,9 @@ SweepSpec parse_sweep_spec(const util::Flags& flags) {
     // A misspelled axis key would otherwise silently run the default grid —
     // the worst failure mode for a reproducibility tool.
     static const std::set<std::string> known = {
-        "variants", "classes",          "prune",  "mitigations",
-        "sizes",    "sigmas",           "faults", "parasitic-scales",
-        "sweep-repeats", "warm-start"};
+        "variants", "classes",          "prune",      "mitigations",
+        "sizes",    "sigmas",           "faults",     "parasitic-scales",
+        "backends", "sweep-repeats",    "warm-start"};
     for (const auto& [key, unused] : file) {
         (void)unused;
         tensor::check(known.count(key) != 0,
@@ -238,6 +266,11 @@ SweepSpec parse_sweep_spec(const util::Flags& flags) {
         spec.faults.clear();
         for (const auto& item : split(v, ','))
             spec.faults.push_back(parse_fault(item));
+    }
+    if (const auto v = value("backends"); !v.empty()) {
+        spec.backends.clear();
+        for (const auto& item : split(v, ','))
+            spec.backends.push_back(xbar::backend_from_name(item));
     }
     if (const auto v = value("sweep-repeats"); !v.empty())
         spec.repeats = parse_int(v);

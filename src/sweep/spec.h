@@ -12,6 +12,7 @@
 
 #include "prune/prune.h"
 #include "util/flags.h"
+#include "xbar/backend.h"
 
 #include <cstdint>
 #include <map>
@@ -50,13 +51,19 @@ struct SweepCell {
     double sigma = 0.10;
     double parasitic_scale = 1.0;
     FaultSetting faults;
+    xbar::BackendKind backend = xbar::BackendKind::kCircuit;
     std::int64_t repeat = 0;
 
     // Stable identifier of the cell's aggregation group (everything except
-    // the repeat axis); the manifest and the per-cell RNG seed key off it.
+    // the repeat axis); the manifest keys off it.
     std::string group_id() const;
     // group_id() + "/r<repeat>" — the manifest key of this cell.
     std::string id() const;
+    // group_id() without the backend axis: the per-cell RNG seed keys off
+    // this, so cells that differ only in backend see identical stochastic
+    // draws — a fast-vs-circuit accuracy gap is pure model error, never a
+    // different Monte-Carlo draw.
+    std::string seed_key() const;
     // Display label: group_id() optionally without the size axis and with
     // axes still at their SweepCell defaults elided (table row headers).
     std::string label(bool with_size, bool elide_defaults) const;
@@ -71,6 +78,8 @@ struct SweepSpec {
     std::vector<double> sigmas = {0.10};
     std::vector<double> parasitic_scales = {1.0};
     std::vector<FaultSetting> faults = {{}};
+    // Crossbar evaluation backends (xbar/backend.h): circuit / fast / ideal.
+    std::vector<xbar::BackendKind> backends = {xbar::BackendKind::kCircuit};
     // Monte-Carlo repeats; expanded as the innermost axis so one group's
     // cells are contiguous in expansion order.
     std::int64_t repeats = 2;
@@ -97,6 +106,7 @@ std::map<std::string, std::string> read_spec_file(const std::string& path);
 //   prune=none,cf:0.8,xcs:0.8  mitigations=none,rearrange,wct,wct+rearrange
 //   sizes=16,32,64             sigmas=0.10
 //   parasitic-scales=1.0       faults=0:0,0.01:0.001   (SA0:SA1)
+//   backends=circuit,fast,ideal
 //   sweep-repeats=2            warm-start=false
 SweepSpec parse_sweep_spec(const util::Flags& flags);
 

@@ -1,5 +1,8 @@
 #include "util/rng.h"
 
+#include <cstdlib>
+#include <limits>
+
 namespace xs::util {
 namespace {
 
@@ -13,12 +16,61 @@ std::uint64_t splitmix64(std::uint64_t& x) {
 
 std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
+// Marsaglia–Tsang ziggurat tables for the standard normal, 128 strips.
+// Strip edges descend from x[0] = R to x[127] = 0; every strip (and the
+// base strip including the tail beyond R) has area kZigV. Classic constants
+// R = 3.442619855899, V = 9.91256303526217e-3 (their 2000 JSS paper); the
+// recursion f(x_i) = f(x_{i-1}) + V/x_{i-1} lands exactly on f = 1 at the
+// 127th edge, which is pinned rather than computed (the canonical tables do
+// the same — the last log would round negative).
+//   x[i] — outer edge of strip i (x[0] = R … x[127] = 0)
+//   f[i] — exp(-x[i]²/2)  (f[127] = 1)
+//   w[i] — mantissa→x scale: strip i samples x = m·w[i], |m| < 2^51
+//   k[i] — fast-accept threshold: |m| < k[i]  ⟺  |x| inside the strip core
+constexpr double kZigR = 3.442619855899;
+constexpr double kZigV = 9.91256303526217e-3;
+constexpr double kZigM = 2251799813685248.0;  // 2^51
+
+struct ZigguratTables {
+    double x[128];
+    double f[128];
+    double k[128];
+    double w[128];
+
+    ZigguratTables() {
+        x[0] = kZigR;
+        f[0] = std::exp(-0.5 * kZigR * kZigR);
+        for (int i = 1; i <= 126; ++i) {
+            x[i] = std::sqrt(-2.0 * std::log(kZigV / x[i - 1] + f[i - 1]));
+            f[i] = std::exp(-0.5 * x[i] * x[i]);
+        }
+        x[127] = 0.0;
+        f[127] = 1.0;
+        // Strip 0 is the base: a rectangle of effective width V/f(R) whose
+        // |x| > R portion funnels into the exact tail sampler.
+        const double x_base = kZigV / f[0];
+        w[0] = x_base / kZigM;
+        k[0] = (kZigR / x_base) * kZigM;
+        // Strip i ≥ 1 spans |x| ≤ x[i-1] horizontally; accept outright when
+        // |x| < x[i] (fully under the curve), else test the wedge. k[127]
+        // is 0: the innermost strip always takes the wedge test.
+        for (int i = 1; i < 128; ++i) {
+            w[i] = x[i - 1] / kZigM;
+            k[i] = (x[i] / x[i - 1]) * kZigM;
+        }
+    }
+};
+
+const ZigguratTables& zig() {
+    static const ZigguratTables tables;
+    return tables;
+}
+
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
     std::uint64_t sm = seed;
     for (auto& s : s_) s = splitmix64(sm);
-    has_cached_normal_ = false;
 }
 
 std::uint64_t Rng::next_u64() {
@@ -39,20 +91,45 @@ double Rng::uniform() {
 }
 
 double Rng::normal() {
-    if (has_cached_normal_) {
-        has_cached_normal_ = false;
-        return cached_normal_;
+    const ZigguratTables& t = zig();
+    for (;;) {
+        const std::uint64_t u = next_u64();
+        // Low 7 bits pick the layer; bits 12..63 form a signed 51-bit
+        // mantissa (plus sign) — disjoint bit ranges of one draw.
+        const std::size_t layer = static_cast<std::size_t>(u & 127);
+        const std::int64_t m = static_cast<std::int64_t>(u >> 12) -
+                               static_cast<std::int64_t>(kZigM);  // [-2^51, 2^51)
+        const double x = static_cast<double>(m) * t.w[layer];
+        if (static_cast<double>(std::llabs(m)) < t.k[layer])
+            return x;  // inside the strip core
+        const double r = normal_slow_path(x, layer);
+        if (r == r) return r;  // NaN signals "redraw"
     }
-    double u1 = 0.0;
-    do {
-        u1 = uniform();
-    } while (u1 <= 1e-300);
-    const double u2 = uniform();
-    const double r = std::sqrt(-2.0 * std::log(u1));
-    const double theta = 2.0 * 3.14159265358979323846 * u2;
-    cached_normal_ = r * std::sin(theta);
-    has_cached_normal_ = true;
-    return r * std::cos(theta);
+}
+
+double Rng::normal_slow_path(double x, std::size_t layer) {
+    const ZigguratTables& t = zig();
+    if (layer == 0) {
+        // Tail beyond R (Marsaglia's exact exponential-rejection method).
+        double xt, yt;
+        do {
+            double u1;
+            do {
+                u1 = uniform();
+            } while (u1 <= 1e-300);
+            double u2;
+            do {
+                u2 = uniform();
+            } while (u2 <= 1e-300);
+            xt = -std::log(u1) / kZigR;
+            yt = -std::log(u2);
+        } while (yt + yt < xt * xt);
+        return x > 0 ? kZigR + xt : -(kZigR + xt);
+    }
+    // Wedge between the layer's rectangle and the density curve.
+    const double fx = std::exp(-0.5 * x * x);
+    if (t.f[layer] + uniform() * (t.f[layer - 1] - t.f[layer]) < fx) return x;
+    return std::numeric_limits<double>::quiet_NaN();  // redraw
 }
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {

@@ -32,7 +32,10 @@ public:
     // Uniform integer in [0, n) for n > 0.
     std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
 
-    // Standard normal via Box–Muller (cached second draw).
+    // Standard normal via the Marsaglia–Tsang ziggurat (128 layers): one
+    // u64 draw, one table compare and one multiply on the ~98 % fast path —
+    // several times faster than Box–Muller, and exact (the wedge/tail
+    // rejection corrects the distribution, it does not approximate it).
     double normal();
 
     // Normal with mean/stddev.
@@ -45,9 +48,10 @@ public:
     Rng split(std::uint64_t tag);
 
 private:
+    // Rejected ziggurat candidates re-enter the fast path here.
+    double normal_slow_path(double x, std::size_t layer);
+
     std::uint64_t s_[4] = {};
-    double cached_normal_ = 0.0;
-    bool has_cached_normal_ = false;
 };
 
 }  // namespace xs::util

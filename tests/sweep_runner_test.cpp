@@ -180,6 +180,82 @@ TEST(SweepRunner, ResumeRefusesDifferentConfiguration) {
     EXPECT_THROW(runner.run(), std::exception);
 }
 
+TEST(SweepRunner, BackendAxisRecordsBackendAndFastTracksCircuit) {
+    SweepOptions opts;
+    opts.csv_name = "backends.csv";
+    opts.manifest_name = "backends.jsonl";
+    SweepSpec spec = tiny_spec();
+    spec.prunes = {{prune::Method::kNone, 0.0}};
+    spec.backends = {xbar::BackendKind::kCircuit, xbar::BackendKind::kFast};
+    SweepRunner runner(ctx(), spec, opts);
+    const SweepSummary summary = runner.run();
+
+    ASSERT_EQ(summary.rows.size(), 2u);
+    const GroupRow& circuit = summary.rows[0];
+    const GroupRow& fast = summary.rows[1];
+    ASSERT_EQ(circuit.cell.backend, xbar::BackendKind::kCircuit);
+    ASSERT_EQ(fast.cell.backend, xbar::BackendKind::kFast);
+    EXPECT_TRUE(circuit.complete() && fast.complete());
+    // Shared per-cell seeds make the gap pure surrogate error; on the tiny
+    // 48-image test split one image is ≈2.1 pp, so allow two flips.
+    EXPECT_NEAR(fast.acc_mean, circuit.acc_mean, 4.2);
+    EXPECT_NEAR(fast.nf_mean, circuit.nf_mean,
+                0.25 * circuit.nf_mean + 1e-3);
+
+    // Backend lands in the manifest lines and the aggregate CSV column.
+    const auto manifest = load_manifest(summary.manifest_path);
+    ASSERT_EQ(manifest.size(), 4u);
+    int fast_cells = 0;
+    for (const auto& [id, r] : manifest) {
+        EXPECT_TRUE(r.backend == "circuit" || r.backend == "fast") << id;
+        if (r.backend == "fast") ++fast_cells;
+    }
+    EXPECT_EQ(fast_cells, 2);
+    const std::string csv = slurp(summary.csv_path);
+    EXPECT_NE(csv.find(",backend,"), std::string::npos);
+    EXPECT_NE(csv.find("fast"), std::string::npos);
+}
+
+TEST(SweepRunner, CellBudgetCountsWarnsAndOptionallyAborts) {
+    SweepOptions opts;
+    opts.csv_name = "budget.csv";
+    opts.manifest_name = "budget.jsonl";
+    opts.cell_budget_ms = 1e-3;  // everything overruns
+    const SweepSummary summary = run(opts);
+    EXPECT_EQ(summary.cells_over_budget, summary.cells_executed);
+
+    opts.manifest_name = "budget_abort.jsonl";
+    opts.csv_name = "budget_abort.csv";
+    opts.cell_budget_abort = true;
+    SweepRunner aborting(ctx(), tiny_spec(), opts);
+    EXPECT_THROW(aborting.run(), std::exception);
+
+    // The abort happens only after every dispatched cell is recorded: a
+    // budget-failed sweep resumes with nothing lost.
+    opts.cell_budget_abort = false;
+    opts.cell_budget_ms = 0.0;
+    opts.resume = true;
+    SweepRunner resumed(ctx(), tiny_spec(), opts);
+    const SweepSummary after = resumed.run();
+    EXPECT_EQ(after.cells_resumed, after.cells_total);
+    EXPECT_EQ(after.cells_executed, 0);
+    EXPECT_EQ(after.cells_over_budget, 0);
+}
+
+TEST(SweepRunner, DryRunReportListsGridWithoutExecuting) {
+    SweepSpec spec = tiny_spec();
+    spec.backends = {xbar::BackendKind::kCircuit, xbar::BackendKind::kFast};
+    const std::string report = dry_run_report(ctx(), spec);
+    EXPECT_NE(report.find("cells: 8 (4 groups x 2 repeats)"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("models to prepare: 2"), std::string::npos) << report;
+    EXPECT_NE(report.find("backends = circuit,fast"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("prune = unpruned,cf:0.8"), std::string::npos)
+        << report;
+}
+
 TEST(SweepRunner, ConcurrentPreparedReturnsOneModelInstance) {
     const core::ModelSpec spec =
         ctx().spec("vgg11", 10, prune::Method::kNone, 0.0);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -116,6 +117,7 @@ TEST(SweepManifest, LineRoundTripsDoublesExactly) {
     r.tiles = 1234567;
     r.unconverged = 3;
     r.wall_ms = 17.25;
+    r.backend = "fast";
 
     const std::string line = encode_manifest_line("grp/x64/r1", r);
     std::string id;
@@ -129,7 +131,21 @@ TEST(SweepManifest, LineRoundTripsDoublesExactly) {
     EXPECT_EQ(back.software_acc, r.software_acc);
     EXPECT_EQ(back.tiles, r.tiles);
     EXPECT_EQ(back.unconverged, r.unconverged);
+    EXPECT_EQ(back.backend, "fast");
     EXPECT_EQ(encode_manifest_line(id, back), line);
+
+    // Manifests predating the backend axis decode to "circuit".
+    CellResult legacy;
+    legacy.backend.clear();
+    const std::string old_line = encode_manifest_line("grp/x64/r0", CellResult{});
+    std::string legacy_id;
+    // Strip the backend field to simulate a pre-axis line.
+    std::string stripped = old_line;
+    const auto bk = stripped.find(",\"backend\":\"circuit\"");
+    ASSERT_NE(bk, std::string::npos);
+    stripped.erase(bk, std::strlen(",\"backend\":\"circuit\""));
+    ASSERT_TRUE(decode_manifest_line(stripped, legacy_id, legacy));
+    EXPECT_EQ(legacy.backend, "circuit");
 }
 
 TEST(SweepManifest, LoadSkipsTruncatedAndMalformedLines) {
@@ -152,6 +168,37 @@ TEST(SweepManifest, LoadSkipsTruncatedAndMalformedLines) {
     EXPECT_EQ(loaded.at("a/r0").accuracy, 75.0);
     EXPECT_EQ(loaded.at("b/r1").accuracy, 75.0);
     std::filesystem::remove(path);
+}
+
+TEST(SweepSpec, BackendAxisExpandsParsesAndSharesSeeds) {
+    const SweepSpec parsed =
+        parse_sweep_spec(make_flags({"--backends=circuit,fast,ideal"}));
+    ASSERT_EQ(parsed.backends.size(), 3u);
+    EXPECT_EQ(parsed.backends[0], xbar::BackendKind::kCircuit);
+    EXPECT_EQ(parsed.backends[1], xbar::BackendKind::kFast);
+    EXPECT_EQ(parsed.backends[2], xbar::BackendKind::kIdeal);
+    EXPECT_THROW(parse_sweep_spec(make_flags({"--backends=warp"})),
+                 std::exception);
+
+    SweepSpec spec;
+    spec.sizes = {16};
+    spec.backends = {xbar::BackendKind::kCircuit, xbar::BackendKind::kFast};
+    spec.repeats = 2;
+    const std::vector<SweepCell> cells = spec.expand();
+    ASSERT_EQ(cells.size(), 4u);  // 2 backends × 2 repeats
+    EXPECT_EQ(cells[0].backend, xbar::BackendKind::kCircuit);
+    EXPECT_EQ(cells[2].backend, xbar::BackendKind::kFast);
+    // Distinct manifest identities…
+    EXPECT_NE(cells[0].group_id(), cells[2].group_id());
+    EXPECT_NE(cells[2].group_id().find("bk-fast"), std::string::npos);
+    // …and circuit ids keep their pre-backend-axis form, so manifests
+    // recorded before the axis existed still resume.
+    EXPECT_EQ(cells[0].group_id().find("bk-"), std::string::npos);
+    EXPECT_EQ(cells[0].group_id(), cells[0].seed_key());
+    // …but identical stochastic draws: the seed ignores the backend axis so
+    // a fast-vs-circuit accuracy gap is pure model error.
+    EXPECT_EQ(cell_seed(11, cells[0]), cell_seed(11, cells[2]));
+    EXPECT_NE(cell_seed(11, cells[0]), cell_seed(11, cells[1]));
 }
 
 TEST(SweepSeed, DeterministicPerCellIdentity) {

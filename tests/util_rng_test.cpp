@@ -64,6 +64,29 @@ TEST(Rng, NormalMoments) {
     EXPECT_NEAR(var, 1.0, 0.03);
 }
 
+TEST(Rng, NormalTailProbabilities) {
+    // Guards the ziggurat's wedge/tail handling: the empirical CDF must
+    // match the normal at several thresholds, including past the ziggurat's
+    // R = 3.44 where only the explicit tail sampler produces values.
+    Rng rng(29);
+    const int n = 2000000;
+    int over1 = 0, over2 = 0, over3_5 = 0;
+    double max_abs = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        const double a = std::fabs(x);
+        if (a > 1.0) ++over1;
+        if (a > 2.0) ++over2;
+        if (a > 3.5) ++over3_5;
+        max_abs = std::max(max_abs, a);
+    }
+    EXPECT_NEAR(static_cast<double>(over1) / n, 0.31731, 0.002);
+    EXPECT_NEAR(static_cast<double>(over2) / n, 0.04550, 0.001);
+    EXPECT_NEAR(static_cast<double>(over3_5) / n, 4.65e-4, 1.5e-4);
+    EXPECT_GT(max_abs, 3.8);  // the tail past R is actually reachable
+    EXPECT_LT(max_abs, 7.0);
+}
+
 TEST(Rng, NormalWithParams) {
     Rng rng(17);
     double sum = 0.0;
