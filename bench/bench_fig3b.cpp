@@ -1,7 +1,13 @@
 // Fig. 3(b): accuracy vs crossbar size for C/F-pruned VGG11/CIFAR10 at
 // different sparsity ratios. Paper shape: lower sparsity → smaller
 // non-ideal accuracy degradation.
+//
+// Thin driver over the declarative sweep engine (sweep/runner.h): the
+// sparsity × size grid is a SweepSpec, so the bench inherits sharded
+// execution, the resumable manifest, and the deterministic aggregate — the
+// figure CSV is derived from the sweep rows instead of a hand-written loop.
 #include "core/experiments.h"
+#include "sweep/runner.h"
 #include "util/csv.h"
 #include "util/flags.h"
 
@@ -13,32 +19,37 @@ int main(int argc, char** argv) {
     const util::Flags flags(argc, argv);
     core::ExperimentContext ctx(flags);
 
-    std::vector<double> sparsities;
+    sweep::SweepSpec spec;
+    spec.prunes.clear();
     for (const auto pct : flags.get_int_list("sparsities-pct", {50, 65, 80}))
-        sparsities.push_back(static_cast<double>(pct) / 100.0);
+        spec.prunes.push_back({prune::Method::kChannelFilter,
+                               static_cast<double>(pct) / 100.0});
+    spec.sizes = ctx.sizes();
+    spec.sigmas = {ctx.sigma()};
+    spec.repeats = ctx.eval_repeats();
 
+    sweep::SweepOptions opts;
+    opts.csv_name = "fig3b_sweep.csv";
+    opts.manifest_name = "fig3b_manifest.jsonl";
+    opts.resume = flags.get_bool("resume", false);
+    opts.shards = flags.get_int("shards", 0);
+
+    std::printf("Fig 3(b): C/F-pruned VGG11 / CIFAR10-like — sparsity sweep\n\n");
+    const sweep::SweepSummary summary =
+        sweep::SweepRunner(ctx, spec, opts).run();
+
+    // Historical figure CSV, one row per (sparsity, size) in grid order.
     util::CsvWriter csv(ctx.csv_path("fig3b_vgg11_cifar10_sparsity.csv"),
                         {"sparsity", "xbar_size", "software_acc", "crossbar_acc",
                          "nf_mean"});
-    util::TextTable table({"sparsity", "software", "16x16", "32x32", "64x64"});
-
-    std::printf("Fig 3(b): C/F-pruned VGG11 / CIFAR10-like — sparsity sweep\n\n");
-    for (const double s : sparsities) {
-        auto& model = ctx.prepared(
-            ctx.spec("vgg11", 10, prune::Method::kChannelFilter, s));
-        std::vector<std::string> row{util::fmt(s, 2),
-                                     util::fmt(model.software_accuracy) + "%"};
-        for (const auto size : ctx.sizes()) {
-            const auto eval =
-                ctx.eval_config(model, prune::Method::kChannelFilter, size);
-            const auto r = core::evaluate_on_crossbars(model.model,
-                                                       ctx.dataset(10).test, eval);
-            csv.row(s, size, model.software_accuracy, r.accuracy, r.nf_mean);
-            row.push_back(util::fmt(r.accuracy) + "%");
-        }
-        table.add_row(row);
+    for (const sweep::GroupRow& row : summary.rows) {
+        if (!row.complete()) continue;
+        csv.row(row.cell.prune.sparsity, row.cell.xbar_size, row.software_acc,
+                row.acc_mean, row.nf_mean);
     }
-    std::printf("%s\n", table.str().c_str());
+    csv.flush();
+
+    std::printf("%s\n", sweep::accuracy_vs_size_table(summary).c_str());
     std::printf("(series written to results/fig3b_vgg11_cifar10_sparsity.csv)\n");
     return 0;
 }

@@ -2,11 +2,18 @@
 // VGG11/CIFAR10 weight matrices when the crossbar grows from 32×32 to 64×64.
 // Paper shape: NF grows with crossbar size for both; the growth *rate* is
 // higher for the unpruned network (it maps onto many more crossbars).
+//
+// Thin driver over the declarative sweep engine in NF-only mode
+// (SweepSpec::nf_only): measure_nf with variation disabled is deterministic,
+// so the grid runs with repeats = 1 and the figure CSV is derived from the
+// sweep rows instead of a hand-written loop.
 #include "core/experiments.h"
+#include "sweep/runner.h"
 #include "util/csv.h"
 #include "util/flags.h"
 
 #include <cstdio>
+#include <map>
 
 int main(int argc, char** argv) {
     using namespace xs;
@@ -14,40 +21,50 @@ int main(int argc, char** argv) {
     core::ExperimentContext ctx(flags);
     const double s = ctx.sparsity_for(10);
 
+    sweep::SweepSpec spec;
+    spec.prunes = {{prune::Method::kNone, 0.0},
+                   {prune::Method::kChannelFilter, s}};
+    spec.sizes = {32, 64};
+    spec.sigmas = {ctx.sigma()};
+    spec.nf_only = true;  // no inference pass, no variation → deterministic
+    spec.repeats = 1;
+
+    sweep::SweepOptions opts;
+    opts.csv_name = "fig3d_sweep.csv";
+    opts.manifest_name = "fig3d_manifest.jsonl";
+    opts.resume = flags.get_bool("resume", false);
+    opts.shards = flags.get_int("shards", 0);
+
+    std::printf("Fig 3(d): average NF, unpruned vs C/F (s=%.2f) VGG11/CIFAR10\n\n",
+                s);
+    const sweep::SweepSummary summary =
+        sweep::SweepRunner(ctx, spec, opts).run();
+
+    // Historical figure CSV plus the NF @32→@64 growth table, from the
+    // aggregated rows (expansion order: scheme outer, size inner).
     util::CsvWriter csv(ctx.csv_path("fig3d_nf_vs_size.csv"),
                         {"scheme", "xbar_size", "nf_mean", "tiles"});
-    util::TextTable table({"scheme", "NF @32x32", "NF @64x64", "delta", "tiles@32",
-                           "tiles@64"});
+    std::map<std::string, std::map<std::int64_t, const sweep::GroupRow*>> by;
+    for (const sweep::GroupRow& row : summary.rows) {
+        if (!row.complete()) continue;
+        const char* label = row.cell.prune.method == prune::Method::kNone
+                                ? "unpruned"
+                                : "C/F";
+        csv.row(label, row.cell.xbar_size, row.nf_mean, row.tiles);
+        by[label][row.cell.xbar_size] = &row;
+    }
+    csv.flush();
 
-    std::printf("Fig 3(d): average NF, unpruned vs C/F (s=%.2f) VGG11/CIFAR10\n\n", s);
-    struct Scheme {
-        const char* label;
-        prune::Method method;
-        double sparsity;
-    };
-    for (const auto& scheme :
-         {Scheme{"unpruned", prune::Method::kNone, 0.0},
-          Scheme{"C/F", prune::Method::kChannelFilter, s}}) {
-        auto& model =
-            ctx.prepared(ctx.spec("vgg11", 10, scheme.method, scheme.sparsity));
-        double nf32 = 0.0, nf64 = 0.0;
-        std::int64_t t32 = 0, t64 = 0;
-        for (const std::int64_t size : {32, 64}) {
-            core::EvalConfig eval = ctx.eval_config(model, scheme.method, size);
-            eval.include_variation = false;  // NF is a parasitics metric
-            const auto r = core::measure_nf(model.model, eval);
-            csv.row(scheme.label, size, r.nf_mean, r.total_tiles);
-            if (size == 32) {
-                nf32 = r.nf_mean;
-                t32 = r.total_tiles;
-            } else {
-                nf64 = r.nf_mean;
-                t64 = r.total_tiles;
-            }
-        }
-        table.add_row({scheme.label, util::fmt(nf32, 4), util::fmt(nf64, 4),
-                       util::fmt(nf64 - nf32, 4), std::to_string(t32),
-                       std::to_string(t64)});
+    util::TextTable table({"scheme", "NF @32x32", "NF @64x64", "delta",
+                           "tiles@32", "tiles@64"});
+    for (const char* label : {"unpruned", "C/F"}) {
+        const auto& sizes = by[label];
+        if (sizes.count(32) == 0 || sizes.count(64) == 0) continue;
+        const sweep::GroupRow& r32 = *sizes.at(32);
+        const sweep::GroupRow& r64 = *sizes.at(64);
+        table.add_row({label, util::fmt(r32.nf_mean, 4), util::fmt(r64.nf_mean, 4),
+                       util::fmt(r64.nf_mean - r32.nf_mean, 4),
+                       std::to_string(r32.tiles), std::to_string(r64.tiles)});
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("(series written to results/fig3d_nf_vs_size.csv)\n");

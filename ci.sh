@@ -35,7 +35,10 @@ run_release() {
 
 # Sweep smoke: a dry-run plus one tiny circuit/fast grid through the real
 # sweep_runner driver, so the backend axis, the stage pipeline, per-cell
-# budgeting, and manifest/CSV plumbing can't bit-rot unnoticed.
+# budgeting, and manifest/CSV plumbing can't bit-rot unnoticed. A second,
+# multi-process run of the same grid with an injected worker crash
+# (XS_FAULT) must respawn, re-deal, and reproduce the single-process CSV
+# byte for byte — the supervisor's core invariant, checked end to end.
 run_sweep_smoke() {
   if [[ ! -x "$repo_root/build-release/sweep_runner" ]]; then
     return 0
@@ -52,6 +55,14 @@ run_sweep_smoke() {
     --cell-budget-ms=120000
   if ! grep -q ',fast,' "$smoke_dir/sweep.csv"; then
     echo "sweep smoke: aggregate CSV is missing the backend=fast row" >&2
+    return 1
+  fi
+  echo "=== supervised sweep smoke (2 workers, injected crash) ==="
+  XS_FAULT="crash@cell:1" "$repo_root/build-release/sweep_runner" \
+    "${smoke_flags[@]}" --workers=2 --cell-budget-ms=120000 \
+    --csv=sweep_supervised.csv --manifest=sweep_supervised.jsonl
+  if ! cmp "$smoke_dir/sweep.csv" "$smoke_dir/sweep_supervised.csv"; then
+    echo "sweep smoke: supervised CSV differs from the single-process run" >&2
     return 1
   fi
 }

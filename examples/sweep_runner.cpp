@@ -7,11 +7,23 @@
 //   ./sweep_runner --spec=grid.sweep --resume
 //   ./sweep_runner --spec=grid.sweep --dry-run
 //   ./sweep_runner --backends=circuit,fast --cell-budget-ms=60000
+//   ./sweep_runner --workers=4 --cell-budget-ms=60000 --cell-retries=2
 //
 // --dry-run prints the expanded grid (cell count, axis values, distinct
 // models to prepare) and exits without training or executing anything.
-// --cell-budget-ms=N warns on cells slower than N ms (and fails the sweep
-// with --cell-budget-abort); every cell's wall time lands in the manifest.
+//
+// --workers=N switches from in-process shards to crash-isolated process
+// supervision (DESIGN.md §9): N forked copies of this binary execute the
+// cells, dead or hung workers are respawned and their cells re-dealt
+// (--cell-budget-ms is the per-cell watchdog deadline), failing cells are
+// retried --cell-retries times with --retry-backoff-ms exponential backoff
+// and then quarantined in the manifest instead of aborting. The aggregate
+// CSV is byte-identical to a single-process run. --worker / --wire-* are
+// the internal child-process entry, never passed by hand.
+//
+// Without --workers, --cell-budget-ms=N warns on cells slower than N ms
+// (and fails the sweep with --cell-budget-abort); every cell's wall time
+// lands in the manifest either way.
 //
 // Spec files hold the same keys as the flags, one `key = value` per line
 // ('#' comments); CLI flags override the file. Experiment-scale flags
@@ -19,6 +31,7 @@
 // other driver via core::ExperimentContext.
 #include "core/experiments.h"
 #include "sweep/runner.h"
+#include "sweep/supervisor.h"
 #include "util/flags.h"
 
 #include <cstdio>
@@ -27,8 +40,13 @@ int main(int argc, char** argv) {
     using namespace xs;
     const util::Flags flags(argc, argv);
     core::ExperimentContext ctx(flags);
-
     sweep::SweepSpec spec = sweep::parse_sweep_spec(flags);
+
+    if (flags.get_bool("worker", false))
+        return sweep::worker_main(ctx, spec,
+                                  static_cast<int>(flags.get_int("wire-in", -1)),
+                                  static_cast<int>(flags.get_int("wire-out", -1)));
+
     if (flags.get_bool("dry-run", false)) {
         std::printf("%s", sweep::dry_run_report(ctx, spec).c_str());
         return 0;
@@ -44,8 +62,20 @@ int main(int argc, char** argv) {
     opts.cell_budget_abort = flags.get_bool("cell-budget-abort", false);
 
     std::printf("sweep: %s\n", spec.describe().c_str());
-    sweep::SweepRunner runner(ctx, spec, opts);
-    const sweep::SweepSummary summary = runner.run();
+    sweep::SweepSummary summary;
+    const std::int64_t workers = flags.get_int("workers", 0);
+    if (workers > 0) {
+        sweep::SupervisorOptions sup;
+        sup.workers = workers;
+        sup.worker_cmd = sweep::worker_command_from_argv(argc, argv);
+        sup.max_cell_retries = flags.get_int("cell-retries", 2);
+        sup.retry_backoff_ms = flags.get_double("retry-backoff-ms", 250.0);
+        sup.max_worker_restarts = flags.get_int("worker-restarts", 4);
+        summary = sweep::run_supervised(ctx, spec, opts, sup);
+    } else {
+        sweep::SweepRunner runner(ctx, spec, opts);
+        summary = runner.run();
+    }
 
     std::printf("\n%s\n", sweep::accuracy_vs_size_table(summary).c_str());
     std::printf("cells: %lld total, %lld executed, %lld resumed, %lld pending\n",
@@ -53,9 +83,22 @@ int main(int argc, char** argv) {
                 static_cast<long long>(summary.cells_executed),
                 static_cast<long long>(summary.cells_resumed),
                 static_cast<long long>(summary.cells_pending));
-    if (opts.cell_budget_ms > 0.0)
+    if (workers > 0)
+        std::printf("supervision: %lld worker restart(s), %lld watchdog kill(s)\n",
+                    static_cast<long long>(summary.worker_restarts),
+                    static_cast<long long>(summary.watchdog_kills));
+    else if (opts.cell_budget_ms > 0.0)
         std::printf("cells over %.0f ms budget: %lld\n", opts.cell_budget_ms,
                     static_cast<long long>(summary.cells_over_budget));
+    if (summary.cells_failed > 0) {
+        std::printf("quarantined cells: %lld\n",
+                    static_cast<long long>(summary.cells_failed));
+        for (const std::string& id : summary.failed_cells)
+            std::printf("  failed: %s\n", id.c_str());
+    }
+    if (summary.manifest_lines_skipped > 0)
+        std::printf("corrupt manifest lines skipped: %lld\n",
+                    static_cast<long long>(summary.manifest_lines_skipped));
     std::printf("aggregate CSV: %s\nmanifest:      %s\n",
                 summary.csv_path.c_str(), summary.manifest_path.c_str());
     if (summary.cells_pending > 0)

@@ -20,54 +20,6 @@ namespace {
 
 using util::fmt_g;
 
-// Execute one grid cell: resolve the prepared (cached) model, build the
-// evaluation config from the cell's axes, run the crossbar evaluation for a
-// single Monte-Carlo draw, and attach the analytic energy estimate. Safe to
-// call concurrently from shard chunks: the context's caches are locked, the
-// shared model is only read, and all scratch is call-local.
-CellResult run_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
-                    const SweepCell& cell) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const core::ModelSpec model_spec =
-        ctx.spec(cell.variant, cell.num_classes, cell.prune.method,
-                 cell.prune.sparsity, cell.mitigation.wct);
-    core::PreparedModel& model = ctx.prepared(model_spec);
-    const data::TrainTest& tt = ctx.dataset(cell.num_classes);
-
-    core::EvalConfig eval = ctx.eval_config(model, cell.prune.method,
-                                            cell.xbar_size,
-                                            cell.mitigation.rearrange);
-    eval.backend = cell.backend;
-    eval.xbar.device.sigma_variation = cell.sigma;
-    eval.xbar.parasitics.r_driver *= cell.parasitic_scale;
-    eval.xbar.parasitics.r_wire_row *= cell.parasitic_scale;
-    eval.xbar.parasitics.r_wire_col *= cell.parasitic_scale;
-    eval.xbar.parasitics.r_sense *= cell.parasitic_scale;
-    eval.faults.p_stuck_min = cell.faults.p_stuck_min;
-    eval.faults.p_stuck_max = cell.faults.p_stuck_max;
-    eval.repeats = 1;  // the Monte-Carlo axis lives in the grid
-    eval.seed = cell_seed(ctx.seed(), cell);
-    eval.warm_start_solves = spec.warm_start_solves;
-
-    const core::EvalResult r =
-        core::evaluate_on_crossbars(model.model, tt.test, eval);
-    const map::EnergyReport energy = map::estimate_energy(
-        model.model, cell.prune.method, eval.xbar, map::EnergyConfig{});
-
-    CellResult out;
-    out.backend = xbar::backend_name(cell.backend);
-    out.accuracy = r.accuracy;
-    out.nf_mean = r.nf_mean;
-    out.energy_pj = energy.total_energy_pj();
-    out.software_acc = model.software_accuracy;
-    out.tiles = r.total_tiles;
-    out.unconverged = r.unconverged_tiles;
-    out.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-    return out;
-}
-
 // The distinct models a set of cells resolves to, deduplicated by spec key
 // in first-use order — shared by the runner's prepare phase and the
 // --dry-run preview so the preview can never diverge from what actually
@@ -88,12 +40,181 @@ std::vector<core::ModelSpec> distinct_model_specs(
 
 }  // namespace
 
+// Execute one grid cell: resolve the prepared (cached) model, build the
+// evaluation config from the cell's axes, run the crossbar evaluation for a
+// single Monte-Carlo draw, and attach the analytic energy estimate. Safe to
+// call concurrently from shard chunks: the context's caches are locked, the
+// shared model is only read, and all scratch is call-local. Also the body
+// of the supervisor's worker processes (sweep/supervisor.h).
+CellResult run_sweep_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
+                          const SweepCell& cell) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::ModelSpec model_spec =
+        ctx.spec(cell.variant, cell.num_classes, cell.prune.method,
+                 cell.prune.sparsity, cell.mitigation.wct);
+    core::PreparedModel& model = ctx.prepared(model_spec);
+
+    core::EvalConfig eval = ctx.eval_config(model, cell.prune.method,
+                                            cell.xbar_size,
+                                            cell.mitigation.rearrange);
+    eval.backend = cell.backend;
+    eval.xbar.device.sigma_variation = cell.sigma;
+    eval.xbar.parasitics.r_driver *= cell.parasitic_scale;
+    eval.xbar.parasitics.r_wire_row *= cell.parasitic_scale;
+    eval.xbar.parasitics.r_wire_col *= cell.parasitic_scale;
+    eval.xbar.parasitics.r_sense *= cell.parasitic_scale;
+    eval.faults.p_stuck_min = cell.faults.p_stuck_min;
+    eval.faults.p_stuck_max = cell.faults.p_stuck_max;
+    eval.repeats = 1;  // the Monte-Carlo axis lives in the grid
+    eval.seed = cell_seed(ctx.seed(), cell);
+    eval.warm_start_solves = spec.warm_start_solves;
+
+    core::EvalResult r;
+    if (spec.nf_only) {
+        // NF is a parasitics metric (paper Fig. 3(d)): no inference pass,
+        // no device variation.
+        eval.include_variation = false;
+        r = core::measure_nf(model.model, eval);
+    } else {
+        const data::TrainTest& tt = ctx.dataset(cell.num_classes);
+        r = core::evaluate_on_crossbars(model.model, tt.test, eval);
+    }
+    const map::EnergyReport energy = map::estimate_energy(
+        model.model, cell.prune.method, eval.xbar, map::EnergyConfig{});
+
+    CellResult out;
+    out.backend = xbar::backend_name(cell.backend);
+    out.accuracy = r.accuracy;
+    out.nf_mean = r.nf_mean;
+    out.energy_pj = energy.total_energy_pj();
+    out.software_acc = model.software_accuracy;
+    out.tiles = r.total_tiles;
+    out.solver_failures = r.unconverged_tiles;
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+}
+
 std::uint64_t cell_seed(std::uint64_t master_seed, const SweepCell& cell) {
     std::uint64_t h = 1469598103934665603ULL ^
                       (master_seed * 0x9E3779B97F4A7C15ULL);
     for (const char ch : cell.seed_key())
         h = (h ^ static_cast<unsigned char>(ch)) * 1099511628211ULL;
     return h + static_cast<std::uint64_t>(cell.repeat) * 0x9E3779B97F4A7C15ULL;
+}
+
+std::string sweep_config_fingerprint(const core::ExperimentContext& ctx,
+                                     const SweepSpec& spec) {
+    // Refusing to resume under a different configuration needs every input
+    // that changes cell results: the context fingerprint, the
+    // solve-determinism mode, the measurement mode, and a sampler tag —
+    // bump the tag whenever the Rng draw stream changes (e.g. the
+    // Box–Muller → ziggurat switch), so a manifest recorded under the old
+    // sampler refuses to resume instead of mixing two draw universes into
+    // one CSV no fresh run could reproduce.
+    return ctx.fingerprint() + (spec.warm_start_solves ? "/warm" : "/cold") +
+           (spec.nf_only ? "/nf" : "") + "/rng-zig128";
+}
+
+std::map<std::string, CellResult> load_resume_state(
+    const std::string& manifest_path, const std::string& config_fp,
+    SweepSummary& summary, bool& had_config) {
+    ManifestLoad load = load_manifest_file(manifest_path);
+    summary.manifest_lines_skipped = load.skipped_lines;
+    if (load.skipped_lines > 0)
+        util::log_warn("sweep: manifest '" + manifest_path + "' has " +
+                       std::to_string(load.skipped_lines) +
+                       " corrupt line(s); the affected cells will re-run");
+    tensor::check(load.config.empty() || load.config == config_fp,
+                  "sweep: manifest '" + manifest_path +
+                      "' was recorded under a different configuration (" +
+                      load.config + " vs " + config_fp +
+                      "); rerun without --resume or delete it");
+    had_config = !load.config.empty();
+    return std::move(load.results);
+}
+
+void aggregate_and_write_csv(const std::vector<SweepCell>& cells,
+                             const SweepSpec& spec,
+                             const std::map<std::string, CellResult>& results,
+                             SweepSummary& summary) {
+    // Aggregate groups in expansion order; `repeat` is the innermost axis,
+    // so one group's cells are contiguous. Failed (quarantined) cells never
+    // contribute numbers: their groups stay incomplete and off the CSV.
+    summary.rows.clear();
+    summary.cells_failed = 0;
+    summary.failed_cells.clear();
+    for (std::size_t i = 0; i < cells.size();) {
+        GroupRow row;
+        row.cell = cells[i];
+        row.repeats_total = spec.repeats;
+        std::vector<const CellResult*> got;
+        for (std::int64_t r = 0; r < spec.repeats; ++r, ++i) {
+            const auto it = results.find(cells[i].id());
+            if (it == results.end()) continue;
+            if (it->second.failed()) {
+                ++row.repeats_failed;
+                ++summary.cells_failed;
+                summary.failed_cells.push_back(cells[i].id());
+                continue;
+            }
+            got.push_back(&it->second);
+        }
+        row.repeats_done = static_cast<std::int64_t>(got.size());
+        if (!got.empty()) {
+            double acc_sum = 0.0, nf_sum = 0.0;
+            for (const CellResult* r : got) {
+                acc_sum += r->accuracy;
+                nf_sum += r->nf_mean;
+                row.solver_failures += r->solver_failures;
+            }
+            const double n = static_cast<double>(got.size());
+            row.acc_mean = acc_sum / n;
+            row.nf_mean = nf_sum / n;
+            double acc_var = 0.0, nf_var = 0.0;
+            for (const CellResult* r : got) {
+                acc_var += (r->accuracy - row.acc_mean) * (r->accuracy - row.acc_mean);
+                nf_var += (r->nf_mean - row.nf_mean) * (r->nf_mean - row.nf_mean);
+            }
+            row.acc_std = std::sqrt(acc_var / n);
+            row.nf_std = std::sqrt(nf_var / n);
+            row.software_acc = got.front()->software_acc;
+            row.energy_pj = got.front()->energy_pj;
+            row.tiles = got.front()->tiles;
+        }
+        summary.rows.push_back(std::move(row));
+    }
+
+    // Aggregate CSV: complete groups only, fixed-precision cells, expansion
+    // order — the bytes depend solely on the grid and the cell results,
+    // never on the execution engine (threads, processes, kills, retries,
+    // resumes).
+    util::CsvWriter csv(summary.csv_path,
+                        {"variant", "classes", "method", "sparsity",
+                         "mitigation", "backend", "xbar_size", "sigma",
+                         "parasitic_scale", "p_stuck_min", "p_stuck_max",
+                         "repeats", "software_acc", "acc_mean", "acc_std",
+                         "nf_mean", "nf_std", "energy_pj", "tiles",
+                         "solver_failures"});
+    for (const GroupRow& row : summary.rows) {
+        if (!row.complete()) continue;
+        const SweepCell& c = row.cell;
+        csv.row(c.variant, c.num_classes, prune::method_name(c.prune.method),
+                fmt_g(c.prune.sparsity), c.mitigation.name(),
+                xbar::backend_name(c.backend), c.xbar_size,
+                fmt_g(c.sigma), fmt_g(c.parasitic_scale), fmt_g(c.faults.p_stuck_min),
+                fmt_g(c.faults.p_stuck_max), row.repeats_done,
+                util::fmt(row.software_acc, 4), util::fmt(row.acc_mean, 4),
+                util::fmt(row.acc_std, 4), util::fmt(row.nf_mean, 6),
+                util::fmt(row.nf_std, 6), util::fmt(row.energy_pj, 3),
+                row.tiles, row.solver_failures);
+    }
+    csv.flush();
+    tensor::check(csv.ok(), "sweep: failed writing '" + summary.csv_path + "'");
+    if (summary.cells_failed > 0)
+        util::log_warn("sweep: " + std::to_string(summary.cells_failed) +
+                       " quarantined cell(s) excluded from the aggregate CSV");
 }
 
 SweepRunner::SweepRunner(core::ExperimentContext& ctx, SweepSpec spec,
@@ -107,34 +228,19 @@ SweepSummary SweepRunner::run() {
     summary.manifest_path = ctx_.csv_path(opts_.manifest_name);
     summary.csv_path = ctx_.csv_path(opts_.csv_name);
 
-    // Refuse to resume under a different experiment configuration — mixing
-    // two configurations' cells into one aggregate would be silent and
-    // plausible-looking. The fingerprint covers every context field that
-    // changes cell results, the solve-determinism mode, and a sampler tag:
-    // bump the tag whenever the Rng draw stream changes (e.g. the
-    // Box–Muller → ziggurat switch), so a manifest recorded under the old
-    // sampler refuses to resume instead of mixing two draw universes into
-    // one CSV no fresh run could reproduce.
-    const std::string config_fp = ctx_.fingerprint() +
-                                  (spec_.warm_start_solves ? "/warm" : "/cold") +
-                                  "/rng-zig128";
+    const std::string config_fp = sweep_config_fingerprint(ctx_, spec_);
     std::map<std::string, CellResult> results;
-    std::string recorded_fp;
-    if (opts_.resume) {
-        recorded_fp = load_manifest_config(summary.manifest_path);
-        tensor::check(recorded_fp.empty() || recorded_fp == config_fp,
-                      "sweep: manifest '" + summary.manifest_path +
-                          "' was recorded under a different configuration (" +
-                          recorded_fp + " vs " + config_fp +
-                          "); rerun without --resume or delete it");
-        results = load_manifest(summary.manifest_path);
-    }
+    bool had_config = false;
+    if (opts_.resume)
+        results = load_resume_state(summary.manifest_path, config_fp, summary,
+                                    had_config);
     ManifestWriter manifest(summary.manifest_path, opts_.resume);
     tensor::check(manifest.ok(), "sweep: cannot open manifest '" +
                                      summary.manifest_path + "' for writing");
-    if (recorded_fp.empty()) manifest.record_config(config_fp);
+    if (!had_config) manifest.record_config(config_fp);
 
-    // Pending cells in expansion order (resume skips recorded ones).
+    // Pending cells in expansion order (resume skips recorded ones — both
+    // finished and quarantined; delete the manifest to retry a quarantine).
     std::vector<std::size_t> pending;
     for (std::size_t i = 0; i < cells.size(); ++i)
         if (results.find(cells[i].id()) == results.end()) pending.push_back(i);
@@ -174,7 +280,7 @@ SweepSummary SweepRunner::run() {
                 try {
                     for (std::size_t p = s; p < pending.size(); p += nshards) {
                         const SweepCell& cell = cells[pending[p]];
-                        executed[p] = run_cell(ctx_, spec_, cell);
+                        executed[p] = run_sweep_cell(ctx_, spec_, cell);
                         manifest.record(cell.id(), executed[p]);
                         const std::int64_t n = ++completed;
                         util::log_info(
@@ -215,66 +321,7 @@ SweepSummary SweepRunner::run() {
     for (std::size_t p = 0; p < pending.size(); ++p)
         results[cells[pending[p]].id()] = executed[p];
 
-    // Aggregate groups in expansion order; `repeat` is the innermost axis,
-    // so one group's cells are contiguous.
-    for (std::size_t i = 0; i < cells.size();) {
-        GroupRow row;
-        row.cell = cells[i];
-        row.repeats_total = spec_.repeats;
-        std::vector<const CellResult*> got;
-        for (std::int64_t r = 0; r < spec_.repeats; ++r, ++i) {
-            const auto it = results.find(cells[i].id());
-            if (it != results.end()) got.push_back(&it->second);
-        }
-        row.repeats_done = static_cast<std::int64_t>(got.size());
-        if (!got.empty()) {
-            double acc_sum = 0.0, nf_sum = 0.0;
-            for (const CellResult* r : got) {
-                acc_sum += r->accuracy;
-                nf_sum += r->nf_mean;
-                row.unconverged += r->unconverged;
-            }
-            const double n = static_cast<double>(got.size());
-            row.acc_mean = acc_sum / n;
-            row.nf_mean = nf_sum / n;
-            double acc_var = 0.0, nf_var = 0.0;
-            for (const CellResult* r : got) {
-                acc_var += (r->accuracy - row.acc_mean) * (r->accuracy - row.acc_mean);
-                nf_var += (r->nf_mean - row.nf_mean) * (r->nf_mean - row.nf_mean);
-            }
-            row.acc_std = std::sqrt(acc_var / n);
-            row.nf_std = std::sqrt(nf_var / n);
-            row.software_acc = got.front()->software_acc;
-            row.energy_pj = got.front()->energy_pj;
-            row.tiles = got.front()->tiles;
-        }
-        summary.rows.push_back(std::move(row));
-    }
-
-    // Aggregate CSV: complete groups only, fixed-precision cells, expansion
-    // order — the bytes depend solely on the grid and the cell results.
-    util::CsvWriter csv(summary.csv_path,
-                        {"variant", "classes", "method", "sparsity",
-                         "mitigation", "backend", "xbar_size", "sigma",
-                         "parasitic_scale", "p_stuck_min", "p_stuck_max",
-                         "repeats", "software_acc", "acc_mean", "acc_std",
-                         "nf_mean", "nf_std", "energy_pj", "tiles",
-                         "unconverged"});
-    for (const GroupRow& row : summary.rows) {
-        if (!row.complete()) continue;
-        const SweepCell& c = row.cell;
-        csv.row(c.variant, c.num_classes, prune::method_name(c.prune.method),
-                fmt_g(c.prune.sparsity), c.mitigation.name(),
-                xbar::backend_name(c.backend), c.xbar_size,
-                fmt_g(c.sigma), fmt_g(c.parasitic_scale), fmt_g(c.faults.p_stuck_min),
-                fmt_g(c.faults.p_stuck_max), row.repeats_done,
-                util::fmt(row.software_acc, 4), util::fmt(row.acc_mean, 4),
-                util::fmt(row.acc_std, 4), util::fmt(row.nf_mean, 6),
-                util::fmt(row.nf_std, 6), util::fmt(row.energy_pj, 3),
-                row.tiles, row.unconverged);
-    }
-    csv.flush();
-    tensor::check(csv.ok(), "sweep: failed writing '" + summary.csv_path + "'");
+    aggregate_and_write_csv(cells, spec_, results, summary);
     return summary;
 }
 
@@ -356,6 +403,7 @@ std::string dry_run_report(const core::ExperimentContext& ctx,
     os << "  sweep-repeats = " << spec.repeats << "\n";
     os << "  warm-start = " << (spec.warm_start_solves ? "true" : "false")
        << "\n";
+    if (spec.nf_only) os << "  nf-only = true\n";
 
     const std::vector<SweepCell> cells = spec.expand();
     os << "cells: " << cells.size() << " ("

@@ -7,6 +7,12 @@
 // from the cell's stable group id — never from shard or completion order —
 // and sweep cells cold-start their circuit solves, so the aggregate CSV is
 // byte-identical at any shard count, with or without interruption.
+//
+// For crash isolation, the supervisor (sweep/supervisor.h) executes the
+// same grid in forked worker *processes*; it shares this header's cell
+// execution, fingerprinting, resume loading, and aggregation, so the two
+// execution engines cannot drift apart — a supervised sweep's aggregate CSV
+// is byte-identical to a single-process run of the same spec.
 #pragma once
 
 #include "core/experiments.h"
@@ -14,6 +20,7 @@
 #include "sweep/spec.h"
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -32,9 +39,11 @@ struct SweepOptions {
     // mid-sweep interruption.
     std::int64_t max_cells = -1;
     // Per-cell wall-time budget in milliseconds; 0 disables budgeting.
-    // Every cell's elapsed ms is recorded in the manifest (wall_ms) either
-    // way; cells over budget log a warning and count into
-    // SweepSummary::cells_over_budget.
+    // In-process (SweepRunner): every cell's elapsed ms is recorded in the
+    // manifest (wall_ms) either way; cells over budget log a warning and
+    // count into SweepSummary::cells_over_budget. Under the supervisor the
+    // budget is a hard watchdog deadline: a worker still holding the cell
+    // past it is SIGKILLed and the cell re-dealt (DESIGN.md §9).
     double cell_budget_ms = 0.0;
     // Escalate budget overruns to a hard failure: the sweep still finishes
     // its dispatched cells (and records them in the manifest, so --resume
@@ -46,13 +55,14 @@ struct SweepOptions {
 struct GroupRow {
     SweepCell cell;  // repeat-0 representative
     std::int64_t repeats_total = 0;
-    std::int64_t repeats_done = 0;
+    std::int64_t repeats_done = 0;    // completed ok (failed cells excluded)
+    std::int64_t repeats_failed = 0;  // quarantined cells in this group
     double software_acc = 0.0;
     double acc_mean = 0.0, acc_std = 0.0;
     double nf_mean = 0.0, nf_std = 0.0;
     double energy_pj = 0.0;
     std::int64_t tiles = 0;
-    std::int64_t unconverged = 0;  // summed over repeats
+    std::int64_t solver_failures = 0;  // summed over repeats
 
     bool complete() const { return repeats_done == repeats_total; }
 };
@@ -61,9 +71,16 @@ struct SweepSummary {
     std::vector<GroupRow> rows;  // expansion order; complete and partial
     std::int64_t cells_total = 0;
     std::int64_t cells_executed = 0;
-    std::int64_t cells_resumed = 0;   // taken from the manifest
+    std::int64_t cells_resumed = 0;   // taken from the manifest (ok + failed)
     std::int64_t cells_pending = 0;   // skipped by max_cells
     std::int64_t cells_over_budget = 0;  // executed cells over cell_budget_ms
+    // Robustness accounting (populated by the supervisor; the in-process
+    // runner only carries failed cells forward from a resumed manifest).
+    std::int64_t cells_failed = 0;          // quarantined, in the grid
+    std::vector<std::string> failed_cells;  // their ids, expansion order
+    std::int64_t worker_restarts = 0;
+    std::int64_t watchdog_kills = 0;
+    std::int64_t manifest_lines_skipped = 0;  // corrupt lines ignored on resume
     std::string csv_path;
     std::string manifest_path;
 };
@@ -74,6 +91,37 @@ struct SweepSummary {
 // in backend evaluate the same stochastic draws, so backend comparisons
 // isolate model error.
 std::uint64_t cell_seed(std::uint64_t master_seed, const SweepCell& cell);
+
+// ---- building blocks shared by SweepRunner and the supervisor ----
+// Both execution engines compose exactly these, so their aggregate CSVs
+// cannot diverge.
+
+// Execute one grid cell in the calling process: resolve the prepared
+// (cached) model, build the cell's EvalConfig, evaluate, attach energy.
+CellResult run_sweep_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
+                          const SweepCell& cell);
+
+// The configuration fingerprint recorded in (and checked against) the
+// manifest: experiment context + solve determinism + RNG sampler tag.
+std::string sweep_config_fingerprint(const core::ExperimentContext& ctx,
+                                     const SweepSpec& spec);
+
+// Resume support: load the manifest, warn (loudly, with a count) about
+// corrupt lines, and refuse a fingerprint mismatch. Returns recorded
+// results (ok and failed); `summary` gets manifest_lines_skipped.
+// `had_config` reports whether the manifest already carries a fingerprint.
+std::map<std::string, CellResult> load_resume_state(
+    const std::string& manifest_path, const std::string& config_fp,
+    SweepSummary& summary, bool& had_config);
+
+// Aggregate `results` over the grid into summary.rows (expansion order) and
+// write the aggregate CSV (complete groups only, fixed formatting). Failed
+// cells never aggregate: their groups are incomplete, excluded from the
+// CSV, and accounted in summary.cells_failed / failed_cells.
+void aggregate_and_write_csv(const std::vector<SweepCell>& cells,
+                             const SweepSpec& spec,
+                             const std::map<std::string, CellResult>& results,
+                             SweepSummary& summary);
 
 class SweepRunner {
 public:

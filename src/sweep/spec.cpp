@@ -182,6 +182,7 @@ std::string SweepSpec::describe() const {
     axis("parasitic-scales", parasitic_scales.size());
     axis("faults", faults.size());
     axis("backends", backends.size());
+    if (nf_only) os << "nf-only ";
     os << "repeats=" << repeats << " -> "
        << variants.size() * class_counts.size() * prunes.size() *
               mitigations.size() * sizes.size() * sigmas.size() *
@@ -217,7 +218,7 @@ SweepSpec parse_sweep_spec(const util::Flags& flags) {
     static const std::set<std::string> known = {
         "variants", "classes",          "prune",      "mitigations",
         "sizes",    "sigmas",           "faults",     "parasitic-scales",
-        "backends", "sweep-repeats",    "warm-start"};
+        "backends", "sweep-repeats",    "warm-start", "nf-only"};
     for (const auto& [key, unused] : file) {
         (void)unused;
         tensor::check(known.count(key) != 0,
@@ -276,6 +277,8 @@ SweepSpec parse_sweep_spec(const util::Flags& flags) {
         spec.repeats = parse_int(v);
     if (const auto v = value("warm-start"); !v.empty())
         spec.warm_start_solves = v == "true" || v == "1" || v == "yes";
+    if (const auto v = value("nf-only"); !v.empty())
+        spec.nf_only = v == "true" || v == "1" || v == "yes";
     tensor::check(spec.repeats >= 1, "sweep: sweep-repeats must be >= 1");
     return spec;
 }

@@ -83,6 +83,11 @@ struct SweepSpec {
     // Monte-Carlo repeats; expanded as the innermost axis so one group's
     // cells are contiguous in expansion order.
     std::int64_t repeats = 2;
+    // NF-measurement mode (paper Fig. 3(d)): cells run measure_nf() with
+    // device variation disabled instead of a full inference pass — NF is a
+    // parasitics metric and this makes each cell deterministic, so drivers
+    // normally pair nf_only with repeats = 1. Accuracy columns read 0.
+    bool nf_only = false;
     // Cold-start every circuit solve inside sweep cells. Warm starting
     // leaves sub-float-resolution residuals that depend on how tiles are
     // partitioned, and the partition depends on where a cell runs (inline
@@ -108,6 +113,7 @@ std::map<std::string, std::string> read_spec_file(const std::string& path);
 //   parasitic-scales=1.0       faults=0:0,0.01:0.001   (SA0:SA1)
 //   backends=circuit,fast,ideal
 //   sweep-repeats=2            warm-start=false
+//   nf-only=false
 SweepSpec parse_sweep_spec(const util::Flags& flags);
 
 }  // namespace xs::sweep

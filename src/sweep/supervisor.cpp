@@ -1,0 +1,510 @@
+#include "sweep/supervisor.h"
+
+#include "sweep/wire.h"
+#include "tensor/tensor.h"
+#include "util/csv.h"
+#include "util/faultinject.h"
+#include "util/log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace xs::sweep {
+
+namespace {
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+// One undone cell's supervision state.
+struct PendingCell {
+    std::size_t cell_index = 0;  // into the expanded grid
+    std::int64_t attempts = 0;   // deals so far (also indexes the backoff)
+    double eligible_at = 0.0;    // steady-clock ms; backoff gate
+    bool in_flight = false;
+    bool done = false;  // acknowledged ok or quarantined
+};
+
+struct Worker {
+    pid_t pid = -1;
+    int deal_fd = -1;  // coordinator → worker (blocking writes)
+    int ack_fd = -1;   // worker → coordinator (nonblocking, poll-driven)
+    wire::MessageReader reader;
+    bool alive = false;
+    bool ready = false;        // said hello / finished its last cell
+    std::int64_t dealt = -1;   // pending index in flight here, -1 = idle
+    double deadline = 0.0;     // watchdog: kill past this; 0 = no budget
+};
+
+void close_fd(int& fd) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+}
+
+// Fork+exec one worker wired to fresh deal/ack pipes. The parent-held pipe
+// ends are CLOEXEC so later-spawned siblings don't inherit them — a worker
+// holding another worker's pipe would mask that worker's EOF-on-death.
+// Everything the child needs (argv buffers included) is built before fork:
+// between fork and exec only async-signal-safe calls run, which a forked
+// child of a threaded process is restricted to.
+bool spawn_worker(const std::vector<std::string>& cmd, Worker& w) {
+    int deal[2];  // [0] = child read, [1] = parent write
+    int ack[2];   // [0] = parent read, [1] = child write
+    if (::pipe(deal) != 0) return false;
+    if (::pipe(ack) != 0) {
+        ::close(deal[0]);
+        ::close(deal[1]);
+        return false;
+    }
+    ::fcntl(deal[1], F_SETFD, FD_CLOEXEC);
+    ::fcntl(ack[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(ack[0], F_SETFL, O_NONBLOCK);
+
+    std::vector<std::string> args = cmd;
+    args.push_back("--worker");
+    args.push_back("--wire-in=" + std::to_string(deal[0]));
+    args.push_back("--wire-out=" + std::to_string(ack[1]));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(deal[0]);
+        ::close(deal[1]);
+        ::close(ack[0]);
+        ::close(ack[1]);
+        return false;
+    }
+    if (pid == 0) {
+        ::execv(argv[0], argv.data());
+        ::_exit(127);  // exec failed; the parent sees EOF + exit 127
+    }
+    ::close(deal[0]);
+    ::close(ack[1]);
+    w.pid = pid;
+    w.deal_fd = deal[1];
+    w.ack_fd = ack[0];
+    w.reader.reset(w.ack_fd);
+    w.alive = true;
+    w.ready = false;
+    w.dealt = -1;
+    w.deadline = 0.0;
+    return true;
+}
+
+std::string describe_exit(int wstatus) {
+    if (WIFSIGNALED(wstatus))
+        return std::string("killed by signal ") +
+               std::to_string(WTERMSIG(wstatus));
+    if (WIFEXITED(wstatus))
+        return "exited with status " + std::to_string(WEXITSTATUS(wstatus));
+    return "died (status " + std::to_string(wstatus) + ")";
+}
+
+}  // namespace
+
+int worker_main(core::ExperimentContext& ctx, const SweepSpec& spec,
+                int in_fd, int out_fd) {
+    util::set_log_prefix("[w" + std::to_string(::getpid()) + "] ");
+    const std::vector<SweepCell> cells = spec.expand();
+    if (!wire::write_message(out_fd, wire::MsgType::kHello, "")) return 1;
+
+    wire::Message msg;
+    while (wire::read_message(in_fd, msg)) {
+        if (msg.type == wire::MsgType::kShutdown) break;
+        if (msg.type != wire::MsgType::kDeal) {
+            util::log_error("worker: unexpected message type " +
+                            std::to_string(static_cast<int>(msg.type)));
+            return 1;
+        }
+        std::int64_t index = -1, attempt = 0;
+        if (!wire::decode_deal(msg.payload, index, attempt) || index < 0 ||
+            index >= static_cast<std::int64_t>(cells.size())) {
+            util::log_error("worker: malformed deal '" + msg.payload + "'");
+            return 1;
+        }
+        const SweepCell& cell = cells[static_cast<std::size_t>(index)];
+        try {
+            // Fault-injection seam: crash/hang/fail here, by grid index, on
+            // the configured attempt — the supervisor's recovery paths are
+            // exercised by real SIGKILLs and real silence, not mocks.
+            util::fault::execute(util::fault::at("cell", index, attempt),
+                                 "cell", index);
+            CellResult r = run_sweep_cell(ctx, spec, cell);
+            r.attempts = attempt + 1;
+            if (!wire::write_message(out_fd, wire::MsgType::kAck,
+                                     encode_manifest_line(cell.id(), r)))
+                return 1;
+        } catch (const std::exception& e) {
+            // Recoverable: report and stay alive for the next deal. The
+            // coordinator owns the retry/quarantine decision.
+            util::log_warn("worker: cell " + cell.id() + " failed: " +
+                           e.what());
+            if (!wire::write_message(out_fd, wire::MsgType::kFail, e.what()))
+                return 1;
+        }
+    }
+    return 0;
+}
+
+std::vector<std::string> worker_command_from_argv(int argc, char** argv) {
+    std::vector<std::string> cmd;
+    char exe[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (n > 0) {
+        exe[n] = '\0';
+        cmd.push_back(exe);
+    } else {
+        cmd.push_back(argc > 0 ? argv[0] : "");
+    }
+    const auto supervision_flag = [](const std::string& a) {
+        return a == "--worker" || a.rfind("--worker=", 0) == 0 ||
+               a.rfind("--workers", 0) == 0 || a.rfind("--wire-in", 0) == 0 ||
+               a.rfind("--wire-out", 0) == 0;
+    };
+    for (int i = 1; i < argc; ++i)
+        if (!supervision_flag(argv[i])) cmd.push_back(argv[i]);
+    return cmd;
+}
+
+SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
+                            const SweepOptions& opts,
+                            const SupervisorOptions& sup) {
+    tensor::check(!sup.worker_cmd.empty(),
+                  "supervisor: worker_cmd is empty (use "
+                  "worker_command_from_argv)");
+    tensor::check(sup.workers >= 1, "supervisor: need at least one worker");
+
+    const std::vector<SweepCell> cells = spec.expand();
+    SweepSummary summary;
+    summary.cells_total = static_cast<std::int64_t>(cells.size());
+    summary.manifest_path = ctx.csv_path(opts.manifest_name);
+    summary.csv_path = ctx.csv_path(opts.csv_name);
+
+    const std::string config_fp = sweep_config_fingerprint(ctx, spec);
+    std::map<std::string, CellResult> results;
+    bool had_config = false;
+    if (opts.resume)
+        results = load_resume_state(summary.manifest_path, config_fp, summary,
+                                    had_config);
+    ManifestWriter manifest(summary.manifest_path, opts.resume);
+    tensor::check(manifest.ok(), "supervisor: cannot open manifest '" +
+                                     summary.manifest_path + "' for writing");
+    if (!had_config) manifest.record_config(config_fp);
+
+    // Undone cells in expansion order (resume skips recorded ones, failed
+    // included), truncated by max_cells like the in-process runner.
+    std::vector<PendingCell> pending;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if (results.find(cells[i].id()) == results.end()) {
+            PendingCell p;
+            p.cell_index = i;
+            pending.push_back(p);
+        }
+    summary.cells_resumed =
+        summary.cells_total - static_cast<std::int64_t>(pending.size());
+    if (opts.max_cells >= 0 &&
+        pending.size() > static_cast<std::size_t>(opts.max_cells))
+        pending.resize(static_cast<std::size_t>(opts.max_cells));
+    summary.cells_pending = summary.cells_total - summary.cells_resumed -
+                            static_cast<std::int64_t>(pending.size());
+
+    if (pending.empty()) {
+        tensor::check(manifest.ok(),
+                      "supervisor: manifest writes to '" +
+                          summary.manifest_path + "' failed");
+        aggregate_and_write_csv(cells, spec, results, summary);
+        return summary;
+    }
+
+    // Train (or load) every distinct model before forking: workers then
+    // resolve the same specs from the on-disk model cache instead of each
+    // training a private copy.
+    {
+        std::set<std::string> seen;
+        for (const PendingCell& p : pending) {
+            const SweepCell& c = cells[p.cell_index];
+            core::ModelSpec ms = ctx.spec(c.variant, c.num_classes,
+                                          c.prune.method, c.prune.sparsity,
+                                          c.mitigation.wct);
+            if (seen.insert(ms.key()).second) ctx.prepared(ms);
+        }
+    }
+
+    // A worker dying mid-deal surfaces as EPIPE on our write, not a signal.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    const std::size_t nworkers = static_cast<std::size_t>(
+        std::min<std::int64_t>(sup.workers,
+                               static_cast<std::int64_t>(pending.size())));
+    std::vector<Worker> workers(nworkers);
+    std::int64_t restarts_left = sup.max_worker_restarts;
+    std::size_t done_count = 0;
+
+    // Quarantine or schedule a retry for pending[p] after a failed attempt.
+    const auto attempt_failed = [&](std::size_t p, const std::string& reason) {
+        PendingCell& pc = pending[p];
+        pc.in_flight = false;
+        const SweepCell& cell = cells[pc.cell_index];
+        if (pc.attempts > sup.max_cell_retries) {
+            CellResult fr;
+            fr.status = "failed";
+            fr.reason = reason;
+            fr.attempts = pc.attempts;
+            fr.backend = xbar::backend_name(cell.backend);
+            manifest.record(cell.id(), fr);
+            results[cell.id()] = fr;
+            pc.done = true;
+            ++done_count;
+            util::log_warn("supervisor: quarantined cell " + cell.id() +
+                           " after " + std::to_string(pc.attempts) +
+                           " attempt(s): " + reason);
+        } else {
+            const double backoff =
+                sup.retry_backoff_ms *
+                std::pow(2.0, static_cast<double>(pc.attempts - 1));
+            pc.eligible_at = now_ms() + backoff;
+            util::log_warn("supervisor: cell " + cell.id() + " attempt " +
+                           std::to_string(pc.attempts) + " failed (" + reason +
+                           "); retrying in " + util::fmt(backoff, 0) + " ms");
+        }
+    };
+
+    // Reap a dead worker, re-deal its cell, and respawn into the slot while
+    // the restart budget lasts; past it the slot retires and the pool
+    // shrinks (graceful degradation — only an empty pool aborts the sweep).
+    const auto worker_died = [&](std::size_t wi, const std::string& how) {
+        Worker& w = workers[wi];
+        int wstatus = 0;
+        ::waitpid(w.pid, &wstatus, 0);
+        const std::string detail =
+            how.empty() ? describe_exit(wstatus) : how;
+        close_fd(w.deal_fd);
+        close_fd(w.ack_fd);
+        w.alive = false;
+        if (w.dealt >= 0) {
+            attempt_failed(static_cast<std::size_t>(w.dealt),
+                           "worker " + detail);
+            w.dealt = -1;
+        }
+        if (restarts_left > 0) {
+            --restarts_left;
+            if (spawn_worker(sup.worker_cmd, w)) {
+                ++summary.worker_restarts;
+                util::log_warn("supervisor: worker " + detail +
+                               "; respawned as pid " + std::to_string(w.pid) +
+                               " (" + std::to_string(restarts_left) +
+                               " restart(s) left)");
+                return;
+            }
+        }
+        util::log_warn("supervisor: worker " + detail +
+                       "; slot retired (restart budget exhausted)");
+    };
+
+    for (std::size_t wi = 0; wi < nworkers; ++wi)
+        tensor::check(spawn_worker(sup.worker_cmd, workers[wi]),
+                      "supervisor: failed to spawn worker process");
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_owner;
+    while (done_count < pending.size()) {
+        const double now = now_ms();
+
+        // Deal: lowest-index eligible cell to each idle ready worker.
+        for (std::size_t wi = 0; wi < nworkers; ++wi) {
+            Worker& w = workers[wi];
+            if (!w.alive || !w.ready || w.dealt >= 0) continue;
+            std::size_t p = pending.size();
+            for (std::size_t i = 0; i < pending.size(); ++i) {
+                PendingCell& pc = pending[i];
+                if (!pc.done && !pc.in_flight && pc.eligible_at <= now) {
+                    p = i;
+                    break;
+                }
+            }
+            if (p == pending.size()) break;  // nothing eligible right now
+            PendingCell& pc = pending[p];
+            ++pc.attempts;
+            const std::string payload = wire::encode_deal(
+                static_cast<std::int64_t>(pc.cell_index), pc.attempts - 1);
+            if (!wire::write_message(w.deal_fd, wire::MsgType::kDeal,
+                                     payload)) {
+                --pc.attempts;  // the deal never reached a worker
+                ::kill(w.pid, SIGKILL);
+                worker_died(wi, "rejected a deal (broken pipe)");
+                continue;
+            }
+            pc.in_flight = true;
+            w.dealt = static_cast<std::int64_t>(p);
+            w.ready = false;
+            w.deadline =
+                opts.cell_budget_ms > 0.0 ? now + opts.cell_budget_ms : 0.0;
+        }
+
+        // Abort only when nobody is left to make progress; the manifest
+        // already holds every finished cell for --resume.
+        bool any_alive = false;
+        for (const Worker& w : workers) any_alive |= w.alive;
+        tensor::check(any_alive,
+                      "supervisor: all workers dead with " +
+                          std::to_string(pending.size() - done_count) +
+                          " cell(s) undone; fix the fault and rerun with "
+                          "--resume");
+
+        // Poll timeout: the nearest watchdog deadline or backoff expiry,
+        // capped at 1 s so liveness checks keep running regardless.
+        double timeout = 1000.0;
+        for (const Worker& w : workers)
+            if (w.alive && w.dealt >= 0 && w.deadline > 0.0)
+                timeout = std::min(timeout, w.deadline - now);
+        for (const PendingCell& pc : pending)
+            if (!pc.done && !pc.in_flight && pc.eligible_at > now)
+                timeout = std::min(timeout, pc.eligible_at - now);
+        timeout = std::max(timeout, 0.0);
+
+        fds.clear();
+        fd_owner.clear();
+        for (std::size_t wi = 0; wi < nworkers; ++wi)
+            if (workers[wi].alive) {
+                fds.push_back({workers[wi].ack_fd, POLLIN, 0});
+                fd_owner.push_back(wi);
+            }
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(std::ceil(timeout)));
+
+        // Drain acks/hellos/fails first, then the death and watchdog paths:
+        // an ack already in the pipe always beats the axe.
+        for (std::size_t fi = 0; fi < fds.size(); ++fi) {
+            if (fds[fi].revents == 0) continue;
+            Worker& w = workers[fd_owner[fi]];
+            w.reader.fill();
+            wire::Message msg;
+            while (w.reader.pop(msg)) {
+                switch (msg.type) {
+                    case wire::MsgType::kHello:
+                        w.ready = true;
+                        break;
+                    case wire::MsgType::kAck: {
+                        std::string id;
+                        CellResult r;
+                        tensor::check(
+                            decode_manifest_line(msg.payload, id, r),
+                            "supervisor: worker sent an undecodable ack");
+                        tensor::check(
+                            w.dealt >= 0 &&
+                                id ==
+                                    cells[pending[static_cast<std::size_t>(
+                                                      w.dealt)]
+                                              .cell_index]
+                                        .id(),
+                            "supervisor: ack for '" + id +
+                                "' does not match the dealt cell");
+                        manifest.record(id, r);  // durable before counted
+                        results[id] = r;
+                        PendingCell& pc =
+                            pending[static_cast<std::size_t>(w.dealt)];
+                        pc.done = true;
+                        pc.in_flight = false;
+                        ++done_count;
+                        ++summary.cells_executed;
+                        w.dealt = -1;
+                        w.deadline = 0.0;
+                        w.ready = true;
+                        util::log_info(
+                            "sweep cell " + std::to_string(done_count) + "/" +
+                            std::to_string(pending.size()) + " " + id +
+                            ": acc " + util::fmt(r.accuracy) + "% (" +
+                            util::fmt(r.wall_ms, 0) + " ms, attempt " +
+                            std::to_string(r.attempts) + ")");
+                        break;
+                    }
+                    case wire::MsgType::kFail:
+                        if (w.dealt >= 0)
+                            attempt_failed(static_cast<std::size_t>(w.dealt),
+                                           msg.payload);
+                        w.dealt = -1;
+                        w.deadline = 0.0;
+                        w.ready = true;  // the worker itself is fine
+                        break;
+                    default:
+                        tensor::check(false,
+                                      "supervisor: unexpected message type " +
+                                          std::to_string(static_cast<int>(
+                                              msg.type)));
+                }
+            }
+            if (w.reader.finished()) worker_died(fd_owner[fi], "");
+        }
+
+        // Watchdog: SIGKILL workers holding a cell past the budget. The
+        // kill surfaces as EOF next iteration, but reaping here keeps the
+        // re-deal latency at one loop turn.
+        if (opts.cell_budget_ms > 0.0) {
+            const double t = now_ms();
+            for (std::size_t wi = 0; wi < nworkers; ++wi) {
+                Worker& w = workers[wi];
+                if (!w.alive || w.dealt < 0 || w.deadline <= 0.0 ||
+                    t < w.deadline)
+                    continue;
+                ::kill(w.pid, SIGKILL);
+                ++summary.watchdog_kills;
+                worker_died(wi, "watchdog-killed after " +
+                                    util::fmt(opts.cell_budget_ms, 0) +
+                                    " ms on cell " +
+                                    cells[pending[static_cast<std::size_t>(
+                                                      w.dealt)]
+                                              .cell_index]
+                                        .id());
+            }
+        }
+    }
+
+    // Orderly shutdown: ask nicely, give the pool a moment, then insist.
+    for (Worker& w : workers) {
+        if (!w.alive) continue;
+        wire::write_message(w.deal_fd, wire::MsgType::kShutdown, "");
+        close_fd(w.deal_fd);
+    }
+    const double grace_deadline = now_ms() + 5000.0;
+    for (Worker& w : workers) {
+        if (!w.alive) continue;
+        int wstatus = 0;
+        while (true) {
+            const pid_t got = ::waitpid(w.pid, &wstatus, WNOHANG);
+            if (got == w.pid || got < 0) break;
+            if (now_ms() > grace_deadline) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, &wstatus, 0);
+                break;
+            }
+            ::usleep(10 * 1000);
+        }
+        close_fd(w.ack_fd);
+        w.alive = false;
+    }
+
+    tensor::check(manifest.ok(), "supervisor: manifest writes to '" +
+                                     summary.manifest_path +
+                                     "' failed; resume state is incomplete");
+    aggregate_and_write_csv(cells, spec, results, summary);
+    return summary;
+}
+
+}  // namespace xs::sweep

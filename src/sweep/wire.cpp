@@ -1,0 +1,124 @@
+#include "sweep/wire.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+namespace xs::sweep::wire {
+
+namespace {
+
+// Little-endian u32, independent of host byte order (coordinator and worker
+// are always the same binary on the same host today, but the frame layout
+// should not silently depend on that).
+void put_u32(char* out, std::uint32_t v) {
+    out[0] = static_cast<char>(v & 0xff);
+    out[1] = static_cast<char>((v >> 8) & 0xff);
+    out[2] = static_cast<char>((v >> 16) & 0xff);
+    out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t get_u32(const char* in) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24);
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool read_all(int fd, char* data, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::read(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (n == 0) return false;  // EOF mid-frame
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+bool write_message(int fd, MsgType type, const std::string& payload) {
+    if (fd < 0 || payload.size() > kMaxPayload) return false;
+    std::string frame(5 + payload.size(), '\0');
+    put_u32(frame.data(), static_cast<std::uint32_t>(payload.size()));
+    frame[4] = static_cast<char>(type);
+    std::memcpy(frame.data() + 5, payload.data(), payload.size());
+    return write_all(fd, frame.data(), frame.size());
+}
+
+bool read_message(int fd, Message& out) {
+    char header[5];
+    if (!read_all(fd, header, sizeof(header))) return false;
+    const std::uint32_t len = get_u32(header);
+    if (len > kMaxPayload) return false;
+    out.type = static_cast<MsgType>(header[4]);
+    out.payload.resize(len);
+    return len == 0 || read_all(fd, out.payload.data(), len);
+}
+
+bool MessageReader::fill() {
+    if (finished()) return false;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            return false;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        eof_ = true;  // hard read error: treat as a dead peer
+        return false;
+    }
+}
+
+bool MessageReader::pop(Message& out) {
+    if (buf_.size() < 5) return false;
+    const std::uint32_t len = get_u32(buf_.data());
+    if (len > kMaxPayload) {
+        corrupt_ = true;
+        return false;
+    }
+    if (buf_.size() < 5 + static_cast<std::size_t>(len)) return false;
+    out.type = static_cast<MsgType>(buf_[4]);
+    out.payload.assign(buf_, 5, len);
+    buf_.erase(0, 5 + static_cast<std::size_t>(len));
+    return true;
+}
+
+std::string encode_deal(std::int64_t cell_index, std::int64_t attempt) {
+    return std::to_string(cell_index) + " " + std::to_string(attempt);
+}
+
+bool decode_deal(const std::string& payload, std::int64_t& cell_index,
+                 std::int64_t& attempt) {
+    long long idx = 0, att = 0;
+    if (std::sscanf(payload.c_str(), "%lld %lld", &idx, &att) != 2) return false;
+    cell_index = idx;
+    attempt = att;
+    return true;
+}
+
+}  // namespace xs::sweep::wire

@@ -1,0 +1,83 @@
+// Length-prefixed message framing for the sweep supervision pipes
+// (DESIGN.md §9). The coordinator and its worker processes exchange small
+// framed messages over anonymous pipes: a 4-byte little-endian payload
+// length, a 1-byte type tag, then the payload bytes. Pipes deliver bytes in
+// order but not in frames, so both ends reassemble; the coordinator side
+// reads nonblocking through a buffering MessageReader (driven by poll),
+// workers read blocking.
+//
+// Message flow:
+//   worker → coordinator:  kHello  (ready for work)
+//                          kAck    (payload = the cell's manifest JSONL line)
+//                          kFail   (payload = error text; worker stays alive)
+//   coordinator → worker:  kDeal   (payload = "<cell index> <attempt>")
+//                          kShutdown
+//
+// The kAck payload *is* the manifest line: the coordinator appends it to the
+// durable manifest and that append is the acknowledgement — a worker that
+// dies after computing but before the coordinator records loses nothing but
+// wall time, because the cell is simply re-dealt and recomputes the same
+// deterministic bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xs::sweep::wire {
+
+enum class MsgType : std::uint8_t {
+    kHello = 1,
+    kDeal = 2,
+    kShutdown = 3,
+    kAck = 4,
+    kFail = 5,
+};
+
+struct Message {
+    MsgType type = MsgType::kHello;
+    std::string payload;
+};
+
+// Payloads are manifest lines and error strings; anything larger than this
+// is a corrupt stream, not a message.
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+// Write one full frame (EINTR-safe, handles short writes). Returns false
+// when the peer is gone (EPIPE/EBADF) or on any other write error.
+bool write_message(int fd, MsgType type, const std::string& payload);
+
+// Blocking read of one full frame. Returns false on EOF or a corrupt frame.
+bool read_message(int fd, Message& out);
+
+// Frame reassembly over a nonblocking fd. fill() drains whatever bytes are
+// readable right now; pop() yields completed frames. EOF is sticky and
+// reported only after every buffered frame has been popped.
+class MessageReader {
+public:
+    explicit MessageReader(int fd = -1) : fd_(fd) {}
+    void reset(int fd) {
+        fd_ = fd;
+        eof_ = false;
+        corrupt_ = false;
+        buf_.clear();
+    }
+
+    // Drain readable bytes into the buffer. Returns false once the stream
+    // is finished (EOF or corrupt frame); buffered frames remain poppable.
+    bool fill();
+    bool pop(Message& out);
+    bool finished() const { return eof_ || corrupt_; }
+
+private:
+    int fd_ = -1;
+    bool eof_ = false;
+    bool corrupt_ = false;
+    std::string buf_;
+};
+
+// Deal payload codec: "<cell index> <attempt>" (both decimal).
+std::string encode_deal(std::int64_t cell_index, std::int64_t attempt);
+bool decode_deal(const std::string& payload, std::int64_t& cell_index,
+                 std::int64_t& attempt);
+
+}  // namespace xs::sweep::wire

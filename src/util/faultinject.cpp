@@ -1,0 +1,136 @@
+#include "util/faultinject.h"
+
+#include "tensor/tensor.h"  // tensor::check
+
+#include <csignal>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace xs::util::fault {
+
+namespace {
+
+struct FaultSpec {
+    Action action = Action::kNone;
+    std::string site;
+    std::int64_t index = 0;
+    bool every_attempt = false;
+};
+
+using Plan = std::vector<FaultSpec>;
+
+Action parse_action(const std::string& name) {
+    if (name == "crash") return Action::kCrash;
+    if (name == "hang") return Action::kHang;
+    if (name == "fail") return Action::kFail;
+    if (name == "truncate-manifest") return Action::kTruncate;
+    tensor::check(false, "XS_FAULT: unknown action '" + name + "'");
+    return Action::kNone;
+}
+
+Plan parse_plan(const std::string& text) {
+    Plan plan;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        auto end = text.find(',', pos);
+        if (end == std::string::npos) end = text.size();
+        std::string item = text.substr(pos, end - pos);
+        pos = end + 1;
+        // Trim surrounding spaces.
+        while (!item.empty() && item.front() == ' ') item.erase(0, 1);
+        while (!item.empty() && item.back() == ' ') item.pop_back();
+        if (item.empty()) continue;
+
+        FaultSpec spec;
+        if (!item.empty() && item.back() == '*') {
+            spec.every_attempt = true;
+            item.pop_back();
+        }
+        const auto at_pos = item.find('@');
+        if (at_pos == std::string::npos) {
+            // Bare action, e.g. "truncate-manifest": first record at site 0.
+            spec.action = parse_action(item);
+            spec.site = spec.action == Action::kTruncate ? "record" : "cell";
+            spec.index = 0;
+        } else {
+            spec.action = parse_action(item.substr(0, at_pos));
+            const std::string target = item.substr(at_pos + 1);
+            const auto colon = target.find(':');
+            tensor::check(colon != std::string::npos && colon + 1 < target.size(),
+                          "XS_FAULT: site needs an index, got '" + item + "'");
+            spec.site = target.substr(0, colon);
+            char* num_end = nullptr;
+            const std::string num = target.substr(colon + 1);
+            spec.index = std::strtoll(num.c_str(), &num_end, 10);
+            tensor::check(num_end == num.c_str() + num.size() && !num.empty(),
+                          "XS_FAULT: malformed index in '" + item + "'");
+        }
+        plan.push_back(std::move(spec));
+    }
+    return plan;
+}
+
+std::mutex g_mu;
+std::shared_ptr<const Plan> g_plan;  // null until first query / install
+bool g_loaded = false;
+
+std::shared_ptr<const Plan> active_plan() {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (!g_loaded) {
+        const char* env = std::getenv("XS_FAULT");
+        if (env && *env) g_plan = std::make_shared<const Plan>(parse_plan(env));
+        g_loaded = true;
+    }
+    return g_plan;
+}
+
+}  // namespace
+
+bool enabled() {
+    const auto plan = active_plan();
+    return plan && !plan->empty();
+}
+
+Action at(const char* site, std::int64_t index, std::int64_t attempt) {
+    const auto plan = active_plan();
+    if (!plan) return Action::kNone;
+    for (const FaultSpec& spec : *plan) {
+        if (spec.site != site || spec.index != index) continue;
+        if (attempt == 0 || spec.every_attempt) return spec.action;
+    }
+    return Action::kNone;
+}
+
+void execute(Action action, const char* site, std::int64_t index) {
+    switch (action) {
+        case Action::kCrash:
+            // Die the way a real crash does: no unwinding, no flushing, no
+            // exit handlers. The supervisor sees a signal-terminated child.
+            std::raise(SIGKILL);
+            std::abort();  // unreachable (SIGKILL cannot be handled)
+        case Action::kHang:
+            for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+        case Action::kFail:
+            throw std::runtime_error("injected fault: fail@" +
+                                     std::string(site) + ":" +
+                                     std::to_string(index));
+        case Action::kNone:
+        case Action::kTruncate:
+            return;
+    }
+}
+
+void install_plan(const std::string& plan) {
+    auto parsed = plan.empty()
+                      ? std::shared_ptr<const Plan>()
+                      : std::make_shared<const Plan>(parse_plan(plan));
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_plan = std::move(parsed);
+    g_loaded = true;
+}
+
+}  // namespace xs::util::fault

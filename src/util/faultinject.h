@@ -1,0 +1,59 @@
+// Deterministic fault-injection seam for robustness testing (DESIGN.md §9).
+//
+// The sweep supervisor's failure paths — worker crashes, hung cells, poison
+// cells, torn manifest writes — are impossible to exercise reliably with
+// real faults, so the code under test asks this seam "should I fail here?"
+// at a handful of named sites and the XS_FAULT environment variable answers.
+// Production runs never set XS_FAULT and every query is one branch on a
+// null plan.
+//
+// Plan grammar (comma-separated actions):
+//   XS_FAULT="crash@cell:7"            SIGKILL the worker dealt cell 7
+//   XS_FAULT="hang@cell:3"             cell 3 blocks forever (watchdog food)
+//   XS_FAULT="fail@cell:2*"            cell 2 throws on *every* attempt
+//   XS_FAULT="truncate-manifest@record:1"  tear the 2nd manifest record
+//   XS_FAULT="truncate-manifest"       shorthand for record:0
+//
+// `<action>@<site>:<index>` fires when the named site is reached with that
+// index on the FIRST attempt only (attempt 0) — a respawned worker retrying
+// the cell proceeds cleanly, which is exactly the recover-after-crash path
+// the tests need. A trailing '*' fires on every attempt (poison cells).
+//
+// Sites in use: "cell" (index = cell's position in the sweep expansion,
+// checked by the worker loop) and "record" (index = data-record ordinal of
+// one ManifestWriter instance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xs::util::fault {
+
+enum class Action {
+    kNone,      // proceed normally
+    kCrash,     // die without cleanup (raise SIGKILL)
+    kHang,      // block forever
+    kFail,      // throw a recoverable error
+    kTruncate,  // write a torn (partial, unterminated) record
+};
+
+// True when a fault plan is active (XS_FAULT set or install_plan() called
+// with a non-empty plan).
+bool enabled();
+
+// The action planned for `site` at `index` on this `attempt` (kNone almost
+// always). Thread-safe; the plan is parsed once, lazily, from XS_FAULT.
+Action at(const char* site, std::int64_t index, std::int64_t attempt = 0);
+
+// Carry out `action` at the call site: kCrash raises SIGKILL, kHang blocks
+// forever, kFail throws std::runtime_error, kNone/kTruncate return (the
+// torn write is the caller's job — only it knows the record bytes).
+void execute(Action action, const char* site, std::int64_t index);
+
+// Replace the active plan ("" disables). Parses eagerly and throws on
+// malformed plans. Tests use this because the XS_FAULT parse is cached:
+// setenv() alone would not affect a process that already queried the seam
+// (child processes re-read the inherited environment on first query).
+void install_plan(const std::string& plan);
+
+}  // namespace xs::util::fault

@@ -7,6 +7,7 @@ namespace xs::util {
 namespace {
 
 LogLevel g_level = LogLevel::kInfo;
+std::string g_prefix;
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -24,10 +25,16 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+void set_log_prefix(const std::string& prefix) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_prefix = prefix;
+}
+
 void log(LogLevel level, const std::string& message) {
     if (static_cast<int>(level) < static_cast<int>(g_level)) return;
     std::lock_guard<std::mutex> lock(g_mutex);
-    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+    std::fprintf(stderr, "[%s] %s%s\n", level_name(level), g_prefix.c_str(),
+                 message.c_str());
 }
 
 }  // namespace xs::util

@@ -12,6 +12,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+// Prefix stamped on every message after the level tag. Sweep worker
+// processes set "[w<pid>] " so interleaved coordinator/worker stderr stays
+// attributable.
+void set_log_prefix(const std::string& prefix);
+
 void log(LogLevel level, const std::string& message);
 
 inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }

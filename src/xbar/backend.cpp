@@ -103,6 +103,7 @@ const FastBackend::Calibration& FastBackend::calibration_for(
 
     auto cal = std::make_unique<Calibration>();
     cal->sweeps = solve_ws.iterations;
+    cal->converged = solve_ws.converged;
     cal->alpha = Tensor({n, n});
     const double inv_v = 1.0 / config_.parasitics.v_nom;
     float* a = cal->alpha.data();
@@ -162,7 +163,12 @@ void FastBackend::degrade(const Tensor& g, DegradeWorkspace& ws,
         ++nf_count;
     }
     out.nf = nf_count ? nf_sum / static_cast<double>(nf_count) : 0.0;
-    out.converged = true;
+    // A surrogate tile is only as trustworthy as the calibration solve its
+    // α field folded; an unconverged bucket solve used to be dropped here
+    // and the tile reported clean. Now it surfaces through the stage
+    // context into the evaluator's solver-failure count like any circuit
+    // non-convergence.
+    out.converged = cal.converged;
     out.sweeps = cal.sweeps;
 }
 

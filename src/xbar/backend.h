@@ -100,8 +100,10 @@ public:
 
 private:
     struct Calibration {
-        tensor::Tensor alpha;  // X×X voltage-division ratios
-        int sweeps = 0;        // relaxation sweeps of the bucket solve
+        tensor::Tensor alpha;   // X×X voltage-division ratios
+        int sweeps = 0;         // relaxation sweeps of the bucket solve
+        bool converged = true;  // bucket solve reached tolerance; every
+                                // tile folded through this α inherits it
     };
     // Bucket → α field, built lazily. A calibration is a pure function of
     // (config, bucket count, bucket index), so the cache is shared

@@ -115,7 +115,7 @@ TEST(SweepManifest, LineRoundTripsDoublesExactly) {
     r.energy_pj = 98765.4321012345;
     r.software_acc = 83.33333333333333;
     r.tiles = 1234567;
-    r.unconverged = 3;
+    r.solver_failures = 3;
     r.wall_ms = 17.25;
     r.backend = "fast";
 
@@ -130,7 +130,7 @@ TEST(SweepManifest, LineRoundTripsDoublesExactly) {
     EXPECT_EQ(back.energy_pj, r.energy_pj);
     EXPECT_EQ(back.software_acc, r.software_acc);
     EXPECT_EQ(back.tiles, r.tiles);
-    EXPECT_EQ(back.unconverged, r.unconverged);
+    EXPECT_EQ(back.solver_failures, r.solver_failures);
     EXPECT_EQ(back.backend, "fast");
     EXPECT_EQ(encode_manifest_line(id, back), line);
 
@@ -146,6 +146,79 @@ TEST(SweepManifest, LineRoundTripsDoublesExactly) {
     stripped.erase(bk, std::strlen(",\"backend\":\"circuit\""));
     ASSERT_TRUE(decode_manifest_line(stripped, legacy_id, legacy));
     EXPECT_EQ(legacy.backend, "circuit");
+}
+
+TEST(SweepManifest, FailedLineRoundTripsTaxonomy) {
+    CellResult r;
+    r.status = "failed";
+    r.reason = "worker killed by signal 9 (said \"boom\"\nmid-line)";
+    r.attempts = 3;
+    r.backend = "fast";
+
+    const std::string line = encode_manifest_line("grp/x32/r1", r);
+    std::string id;
+    CellResult back;
+    ASSERT_TRUE(decode_manifest_line(line, id, back));
+    EXPECT_EQ(id, "grp/x32/r1");
+    EXPECT_TRUE(back.failed());
+    EXPECT_EQ(back.status, "failed");
+    // Newlines are flattened on encode; quotes survive the escaping.
+    EXPECT_EQ(back.reason, "worker killed by signal 9 (said \"boom\" mid-line)");
+    EXPECT_EQ(back.attempts, 3);
+    EXPECT_EQ(back.backend, "fast");
+    // Failed lines carry no result numbers.
+    EXPECT_EQ(line.find("accuracy"), std::string::npos);
+}
+
+TEST(SweepManifest, LegacyUnconvergedSpellingDecodes) {
+    CellResult r;
+    r.solver_failures = 7;
+    std::string line = encode_manifest_line("grp/r0", r);
+    const auto pos = line.find("solver_failures");
+    ASSERT_NE(pos, std::string::npos);
+    line.replace(pos, std::strlen("solver_failures"), "unconverged");
+
+    std::string id;
+    CellResult back;
+    ASSERT_TRUE(decode_manifest_line(line, id, back));
+    EXPECT_EQ(back.solver_failures, 7);
+
+    // And a line predating the field entirely decodes to 0.
+    std::string old_line = encode_manifest_line("grp/r0", CellResult{});
+    const auto f = old_line.find(",\"solver_failures\":0");
+    ASSERT_NE(f, std::string::npos);
+    old_line.erase(f, std::strlen(",\"solver_failures\":0"));
+    ASSERT_TRUE(decode_manifest_line(old_line, id, back));
+    EXPECT_EQ(back.solver_failures, 0);
+}
+
+TEST(SweepManifest, MidLineCorruptionIsRejectedNotChimeraParsed) {
+    CellResult a, b;
+    a.accuracy = 10.0;
+    b.accuracy = 90.0;
+    const std::string la = encode_manifest_line("cell-a/r0", a);
+    const std::string lb = encode_manifest_line("cell-b/r0", b);
+    // A crash mid-append leaves half of record A with record B glued on —
+    // one physical line that still starts with '{' and ends with '}'.
+    const std::string torn = la.substr(0, la.size() / 2) + lb;
+    std::string id;
+    CellResult back;
+    EXPECT_FALSE(decode_manifest_line(torn, id, back));
+
+    // The loader counts it as skipped instead of resuming a chimera.
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "xs_manifest_torn.jsonl")
+            .string();
+    {
+        std::ofstream out(path);
+        out << "{\"sweep_config\":\"fp\"}\n" << torn << '\n' << la << '\n';
+    }
+    const ManifestLoad load = load_manifest_file(path);
+    EXPECT_EQ(load.config, "fp");
+    EXPECT_EQ(load.skipped_lines, 1);
+    ASSERT_EQ(load.results.size(), 1u);
+    EXPECT_EQ(load.results.at("cell-a/r0").accuracy, 10.0);
+    std::filesystem::remove(path);
 }
 
 TEST(SweepManifest, LoadSkipsTruncatedAndMalformedLines) {

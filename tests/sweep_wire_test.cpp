@@ -1,0 +1,142 @@
+// Pipe message framing for the sweep supervisor (sweep/wire.h): round
+// trips, partial-frame reassembly through the nonblocking reader, EOF and
+// corrupt-stream handling, and the deal payload codec.
+#include "sweep/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace xs::sweep::wire {
+namespace {
+
+struct Pipe {
+    int fds[2] = {-1, -1};
+    Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+    ~Pipe() {
+        close_read();
+        close_write();
+    }
+    int r() const { return fds[0]; }
+    int w() const { return fds[1]; }
+    void close_read() {
+        if (fds[0] >= 0) ::close(fds[0]);
+        fds[0] = -1;
+    }
+    void close_write() {
+        if (fds[1] >= 0) ::close(fds[1]);
+        fds[1] = -1;
+    }
+    void nonblocking_read() { ::fcntl(fds[0], F_SETFL, O_NONBLOCK); }
+};
+
+TEST(SweepWire, BlockingRoundTripPreservesTypeAndPayload) {
+    Pipe p;
+    ASSERT_TRUE(write_message(p.w(), MsgType::kAck, "{\"cell\":\"a/r0\"}"));
+    ASSERT_TRUE(write_message(p.w(), MsgType::kHello, ""));
+    Message m;
+    ASSERT_TRUE(read_message(p.r(), m));
+    EXPECT_EQ(m.type, MsgType::kAck);
+    EXPECT_EQ(m.payload, "{\"cell\":\"a/r0\"}");
+    ASSERT_TRUE(read_message(p.r(), m));
+    EXPECT_EQ(m.type, MsgType::kHello);
+    EXPECT_TRUE(m.payload.empty());
+    // EOF after the writer closes.
+    p.close_write();
+    EXPECT_FALSE(read_message(p.r(), m));
+}
+
+TEST(SweepWire, ReaderReassemblesFramesFromPartialWrites) {
+    Pipe p;
+    p.nonblocking_read();
+    // One frame dribbled in byte by byte: the reader must never yield a
+    // partial message.
+    std::string frame;
+    {
+        Pipe scratch;
+        ASSERT_TRUE(write_message(scratch.w(), MsgType::kDeal, "17 2"));
+        char buf[64];
+        const ssize_t n = ::read(scratch.r(), buf, sizeof(buf));
+        ASSERT_GT(n, 0);
+        frame.assign(buf, static_cast<std::size_t>(n));
+    }
+    MessageReader reader(p.r());
+    Message m;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        ASSERT_EQ(::write(p.w(), frame.data() + i, 1), 1);
+        reader.fill();
+        if (i + 1 < frame.size()) {
+            EXPECT_FALSE(reader.pop(m)) << "partial frame yielded at byte " << i;
+        }
+    }
+    ASSERT_TRUE(reader.pop(m));
+    EXPECT_EQ(m.type, MsgType::kDeal);
+    EXPECT_EQ(m.payload, "17 2");
+    EXPECT_FALSE(reader.finished());
+}
+
+TEST(SweepWire, BufferedFramesSurviveEof) {
+    Pipe p;
+    p.nonblocking_read();
+    ASSERT_TRUE(write_message(p.w(), MsgType::kAck, "one"));
+    ASSERT_TRUE(write_message(p.w(), MsgType::kAck, "two"));
+    p.close_write();  // worker died right after writing
+
+    MessageReader reader(p.r());
+    reader.fill();
+    EXPECT_TRUE(reader.finished());  // EOF observed…
+    Message m;
+    ASSERT_TRUE(reader.pop(m));  // …but buffered frames still pop
+    EXPECT_EQ(m.payload, "one");
+    ASSERT_TRUE(reader.pop(m));
+    EXPECT_EQ(m.payload, "two");
+    EXPECT_FALSE(reader.pop(m));
+}
+
+TEST(SweepWire, OversizedFrameIsCorruptNotAllocated) {
+    Pipe p;
+    p.nonblocking_read();
+    // A length prefix beyond kMaxPayload marks the stream corrupt.
+    const std::uint32_t huge = kMaxPayload + 1;
+    unsigned char hdr[5] = {
+        static_cast<unsigned char>(huge & 0xff),
+        static_cast<unsigned char>((huge >> 8) & 0xff),
+        static_cast<unsigned char>((huge >> 16) & 0xff),
+        static_cast<unsigned char>((huge >> 24) & 0xff),
+        static_cast<unsigned char>(MsgType::kAck)};
+    ASSERT_EQ(::write(p.w(), hdr, sizeof(hdr)), static_cast<ssize_t>(sizeof(hdr)));
+    MessageReader reader(p.r());
+    reader.fill();
+    Message m;
+    EXPECT_FALSE(reader.pop(m));     // corrupt length: never allocated
+    EXPECT_TRUE(reader.finished());  // and the stream is marked dead
+}
+
+TEST(SweepWire, DealCodecRoundTripsAndRejectsGarbage) {
+    std::int64_t index = -1, attempt = -1;
+    ASSERT_TRUE(decode_deal(encode_deal(42, 3), index, attempt));
+    EXPECT_EQ(index, 42);
+    EXPECT_EQ(attempt, 3);
+    ASSERT_TRUE(decode_deal(encode_deal(0, 0), index, attempt));
+    EXPECT_EQ(index, 0);
+    EXPECT_EQ(attempt, 0);
+    EXPECT_FALSE(decode_deal("", index, attempt));
+    EXPECT_FALSE(decode_deal("nope", index, attempt));
+}
+
+TEST(SweepWire, WriteToClosedPipeReturnsFalse) {
+    Pipe p;
+    p.close_read();
+    // SIGPIPE must not kill the test: the supervisor ignores it and treats
+    // the failed write as a dead worker.
+    ::signal(SIGPIPE, SIG_IGN);
+    EXPECT_FALSE(write_message(p.w(), MsgType::kDeal, "1 0"));
+}
+
+}  // namespace
+}  // namespace xs::sweep::wire

@@ -1,0 +1,82 @@
+// Fault-injection plan grammar and attempt gating (util/faultinject.h).
+#include "util/faultinject.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xs::util::fault {
+namespace {
+
+// Every test restores the no-plan state so the seam stays inert for the
+// rest of the suite (the plan is process-global).
+struct PlanGuard {
+    ~PlanGuard() { install_plan(""); }
+};
+
+TEST(FaultInject, DisabledByDefaultAndAfterClearing) {
+    PlanGuard guard;
+    install_plan("");
+    EXPECT_FALSE(enabled());
+    EXPECT_EQ(at("cell", 0), Action::kNone);
+    EXPECT_EQ(at("record", 123), Action::kNone);
+}
+
+TEST(FaultInject, ParsesActionsSitesAndIndexes) {
+    PlanGuard guard;
+    install_plan("crash@cell:7, hang@cell:3,fail@cell:2,truncate-manifest@record:1");
+    EXPECT_TRUE(enabled());
+    EXPECT_EQ(at("cell", 7), Action::kCrash);
+    EXPECT_EQ(at("cell", 3), Action::kHang);
+    EXPECT_EQ(at("cell", 2), Action::kFail);
+    EXPECT_EQ(at("record", 1), Action::kTruncate);
+    // Non-matching site/index combinations stay clean.
+    EXPECT_EQ(at("cell", 1), Action::kNone);
+    EXPECT_EQ(at("record", 7), Action::kNone);
+    EXPECT_EQ(at("cell", 1, /*attempt=*/5), Action::kNone);
+}
+
+TEST(FaultInject, BareTruncateMeansFirstRecord) {
+    PlanGuard guard;
+    install_plan("truncate-manifest");
+    EXPECT_EQ(at("record", 0), Action::kTruncate);
+    EXPECT_EQ(at("record", 1), Action::kNone);
+}
+
+TEST(FaultInject, FiresOnFirstAttemptOnlyUnlessStarred) {
+    PlanGuard guard;
+    install_plan("crash@cell:4,fail@cell:9*");
+    // Default: attempt 0 only — the recover-after-crash path retries clean.
+    EXPECT_EQ(at("cell", 4, 0), Action::kCrash);
+    EXPECT_EQ(at("cell", 4, 1), Action::kNone);
+    EXPECT_EQ(at("cell", 4, 2), Action::kNone);
+    // '*': every attempt — a poison cell that exhausts the retry budget.
+    EXPECT_EQ(at("cell", 9, 0), Action::kFail);
+    EXPECT_EQ(at("cell", 9, 1), Action::kFail);
+    EXPECT_EQ(at("cell", 9, 5), Action::kFail);
+}
+
+TEST(FaultInject, ExecuteFailThrowsWithSiteInMessage) {
+    PlanGuard guard;
+    try {
+        execute(Action::kFail, "cell", 2);
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("fail@cell:2"), std::string::npos);
+    }
+    // kNone and kTruncate are no-ops at the seam (the torn write is the
+    // manifest writer's job).
+    execute(Action::kNone, "cell", 0);
+    execute(Action::kTruncate, "record", 0);
+}
+
+TEST(FaultInject, MalformedPlansThrowLoudly) {
+    PlanGuard guard;
+    EXPECT_THROW(install_plan("explode@cell:1"), std::exception);
+    EXPECT_THROW(install_plan("crash@cell"), std::exception);     // no index
+    EXPECT_THROW(install_plan("crash@cell:x"), std::exception);   // bad index
+    EXPECT_THROW(install_plan("crash@cell:"), std::exception);    // empty index
+}
+
+}  // namespace
+}  // namespace xs::util::fault
