@@ -4,10 +4,19 @@
 // heatmap into results/; the paper's visual — light (low-|w|) columns
 // concentrated at the centre after R — can be confirmed with any plotter.
 // An ASCII digest (per-column mean |w| profile) is printed to stdout.
+//
+// Thin driver over the declarative sweep engine (sweep/runner.h), like
+// fig3a–3d: the quantitative side of the figure — does R actually lower the
+// tile-average non-ideality factor? — is a none-vs-rearrange nf_only
+// SweepSpec, so the bench inherits sharded execution, the resumable
+// manifest, and the deterministic aggregate; the historical
+// fig3f_rearrange_nf.csv is derived from the summary rows. The heatmap
+// dumps then reuse the sweep's prepared-model cache via ctx.prepared().
 #include "core/experiments.h"
 #include "core/rearrange.h"
 #include "map/compaction.h"
 #include "map/matrix_view.h"
+#include "sweep/runner.h"
 #include "util/csv.h"
 #include "util/flags.h"
 
@@ -64,11 +73,43 @@ int main(int argc, char** argv) {
     const std::string variant = flags.get_string("variant", "vgg16");
     const double s = ctx.sparsity_for(10);
 
+    // Quantitative companion to the heatmaps: tile-average NF with and
+    // without R, per crossbar size. nf_only cells are deterministic
+    // (variation disabled), so one repeat suffices.
+    sweep::SweepSpec spec;
+    spec.variants = {variant};
+    spec.prunes = {{prune::Method::kChannelFilter, s}};
+    spec.mitigations = {{/*wct=*/false, /*rearrange=*/false},
+                        {/*wct=*/false, /*rearrange=*/true}};
+    spec.sizes = ctx.sizes();
+    spec.sigmas = {ctx.sigma()};
+    spec.repeats = 1;
+    spec.nf_only = true;
+
+    sweep::SweepOptions opts;
+    opts.csv_name = "fig3f_sweep.csv";
+    opts.manifest_name = "fig3f_manifest.jsonl";
+    opts.resume = flags.get_bool("resume", false);
+    opts.shards = flags.get_int("shards", 0);
+
+    std::printf("Fig 3(f): C/F-pruned %s / CIFAR10-like — rearrangement "
+                "heatmaps + NF sweep (s=%.2f)\n\n", variant.c_str(), s);
+    const sweep::SweepSummary summary =
+        sweep::SweepRunner(ctx, spec, opts).run();
+
+    // Historical figure CSV, one row per (mitigation, size) in grid order.
+    util::CsvWriter csv(ctx.csv_path("fig3f_rearrange_nf.csv"),
+                        {"mitigation", "xbar_size", "nf_mean", "tiles"});
+    for (const sweep::GroupRow& row : summary.rows) {
+        if (!row.complete()) continue;
+        csv.row(row.cell.mitigation.name(), row.cell.xbar_size, row.nf_mean,
+                row.tiles);
+    }
+    csv.flush();
+
+    // The sweep prepared (or loaded) the model; the heatmaps reuse it.
     auto& model =
         ctx.prepared(ctx.spec(variant, 10, prune::Method::kChannelFilter, s));
-
-    std::printf("Fig 3(f): column-mean |w| profile before/after R (centre-out), "
-                "%s/CIFAR10 C/F s=%.2f\n\n", variant.c_str(), s);
     for (const std::string layer_name : {"conv3", "conv5"}) {
         nn::Layer* layer = model.model.find(layer_name);
         if (!layer) continue;
@@ -91,6 +132,7 @@ int main(int argc, char** argv) {
         ascii_profile("after R (centre-out)", rearranged);
         std::printf("\n");
     }
-    std::printf("(full heatmaps written to results/fig3f_*.csv)\n");
+    std::printf("(NF series written to results/fig3f_rearrange_nf.csv, full "
+                "heatmaps to results/fig3f_*.csv)\n");
     return 0;
 }

@@ -35,10 +35,15 @@ run_release() {
 
 # Sweep smoke: a dry-run plus one tiny circuit/fast grid through the real
 # sweep_runner driver, so the backend axis, the stage pipeline, per-cell
-# budgeting, and manifest/CSV plumbing can't bit-rot unnoticed. A second,
-# multi-process run of the same grid with an injected worker crash
-# (XS_FAULT) must respawn, re-deal, and reproduce the single-process CSV
-# byte for byte — the supervisor's core invariant, checked end to end.
+# budgeting, and manifest/CSV plumbing can't bit-rot unnoticed. A second
+# run of the same grid with full telemetry armed (detail metrics, a chrome
+# trace, a metrics snapshot, the progress heartbeat) must reproduce the
+# plain run's CSV byte for byte — observability must never perturb results
+# — and its metrics/trace JSONs must pass bench/check_metrics.py. A third,
+# multi-process run with an injected worker crash (XS_FAULT) must respawn,
+# re-deal, and reproduce the single-process CSV byte for byte — the
+# supervisor's core invariant, checked end to end — while still emitting a
+# merged, validatable metrics snapshot.
 run_sweep_smoke() {
   if [[ ! -x "$repo_root/build-release/sweep_runner" ]]; then
     return 0
@@ -57,13 +62,33 @@ run_sweep_smoke() {
     echo "sweep smoke: aggregate CSV is missing the backend=fast row" >&2
     return 1
   fi
+  echo "=== telemetry sweep smoke (metrics + trace + heartbeat) ==="
+  XS_METRICS=detail "$repo_root/build-release/sweep_runner" \
+    "${smoke_flags[@]}" --cell-budget-ms=120000 --progress-sec=1 \
+    --metrics-out="$smoke_dir/metrics.json" --trace="$smoke_dir/trace.json" \
+    --csv=sweep_telemetry.csv --manifest=sweep_telemetry.jsonl
+  if ! cmp "$smoke_dir/sweep.csv" "$smoke_dir/sweep_telemetry.csv"; then
+    echo "sweep smoke: telemetry-enabled CSV differs from the plain run" >&2
+    return 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 "$repo_root/bench/check_metrics.py" --clean \
+      "$smoke_dir/metrics.json" "$smoke_dir/trace.json" \
+      "$smoke_dir/sweep_telemetry.jsonl"
+  fi
   echo "=== supervised sweep smoke (2 workers, injected crash) ==="
   XS_FAULT="crash@cell:1" "$repo_root/build-release/sweep_runner" \
     "${smoke_flags[@]}" --workers=2 --cell-budget-ms=120000 \
-    --csv=sweep_supervised.csv --manifest=sweep_supervised.jsonl
+    --csv=sweep_supervised.csv --manifest=sweep_supervised.jsonl \
+    --metrics-out="$smoke_dir/metrics_supervised.json"
   if ! cmp "$smoke_dir/sweep.csv" "$smoke_dir/sweep_supervised.csv"; then
     echo "sweep smoke: supervised CSV differs from the single-process run" >&2
     return 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    # No --clean: the injected crash loses that worker's executed-count.
+    python3 "$repo_root/bench/check_metrics.py" \
+      "$smoke_dir/metrics_supervised.json"
   fi
 }
 

@@ -29,23 +29,42 @@
 // ('#' comments); CLI flags override the file. Experiment-scale flags
 // (--width, --train-count, --epochs, --out-dir, …) are shared with every
 // other driver via core::ExperimentContext.
+//
+// Telemetry (DESIGN.md §10):
+//   --metrics-out=metrics.json  write the merged counter/histogram snapshot
+//   --trace=out.json            chrome://tracing span timeline (workers
+//                               write out.json.w<pid> — one file each)
+//   --progress-sec=N            heartbeat on stderr every N seconds
 #include "core/experiments.h"
 #include "sweep/runner.h"
 #include "sweep/supervisor.h"
 #include "util/flags.h"
+#include "util/log.h"
+#include "util/trace.h"
 
 #include <cstdio>
+#include <string>
+#include <unistd.h>
 
 int main(int argc, char** argv) {
     using namespace xs;
     const util::Flags flags(argc, argv);
     core::ExperimentContext ctx(flags);
     sweep::SweepSpec spec = sweep::parse_sweep_spec(flags);
+    const std::string trace_path = flags.get_string("trace", "");
 
-    if (flags.get_bool("worker", false))
-        return sweep::worker_main(ctx, spec,
-                                  static_cast<int>(flags.get_int("wire-in", -1)),
-                                  static_cast<int>(flags.get_int("wire-out", -1)));
+    if (flags.get_bool("worker", false)) {
+        // Each worker traces into its own file: spans from different
+        // processes cannot share one buffer, and chrome://tracing loads the
+        // per-pid files side by side anyway.
+        if (!trace_path.empty())
+            util::trace::start(trace_path + ".w" + std::to_string(::getpid()));
+        const int rc = sweep::worker_main(
+            ctx, spec, static_cast<int>(flags.get_int("wire-in", -1)),
+            static_cast<int>(flags.get_int("wire-out", -1)));
+        util::trace::stop_and_write();
+        return rc;
+    }
 
     if (flags.get_bool("dry-run", false)) {
         std::printf("%s", sweep::dry_run_report(ctx, spec).c_str());
@@ -60,7 +79,9 @@ int main(int argc, char** argv) {
     opts.manifest_name = flags.get_string("manifest", "sweep_manifest.jsonl");
     opts.cell_budget_ms = flags.get_double("cell-budget-ms", 0.0);
     opts.cell_budget_abort = flags.get_bool("cell-budget-abort", false);
+    opts.progress_sec = flags.get_double("progress-sec", 0.0);
 
+    if (!trace_path.empty()) util::trace::start(trace_path);
     std::printf("sweep: %s\n", spec.describe().c_str());
     sweep::SweepSummary summary;
     const std::int64_t workers = flags.get_int("workers", 0);
@@ -84,9 +105,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(summary.cells_resumed),
                 static_cast<long long>(summary.cells_pending));
     if (workers > 0)
-        std::printf("supervision: %lld worker restart(s), %lld watchdog kill(s)\n",
+        std::printf("supervision: %lld worker restart(s), %lld watchdog "
+                    "kill(s), %lld cell retr%s\n",
                     static_cast<long long>(summary.worker_restarts),
-                    static_cast<long long>(summary.watchdog_kills));
+                    static_cast<long long>(summary.watchdog_kills),
+                    static_cast<long long>(summary.cell_retries),
+                    summary.cell_retries == 1 ? "y" : "ies");
+    if (workers > 0 && opts.cell_budget_ms > 0.0)
+        std::printf("cells over %.0f ms budget: %lld\n", opts.cell_budget_ms,
+                    static_cast<long long>(summary.cells_over_budget));
     else if (opts.cell_budget_ms > 0.0)
         std::printf("cells over %.0f ms budget: %lld\n", opts.cell_budget_ms,
                     static_cast<long long>(summary.cells_over_budget));
@@ -101,6 +128,32 @@ int main(int argc, char** argv) {
                     static_cast<long long>(summary.manifest_lines_skipped));
     std::printf("aggregate CSV: %s\nmanifest:      %s\n",
                 summary.csv_path.c_str(), summary.manifest_path.c_str());
+
+    const std::string metrics_out = flags.get_string("metrics-out", "");
+    if (!metrics_out.empty()) {
+        if (summary.metrics_json.empty()) {
+            util::log_warn("--metrics-out=" + metrics_out +
+                           " requested but telemetry is compiled out "
+                           "(XS_TELEMETRY=OFF); nothing written");
+        } else {
+            std::FILE* f = std::fopen(metrics_out.c_str(), "wb");
+            if (f == nullptr ||
+                std::fwrite(summary.metrics_json.data(), 1,
+                            summary.metrics_json.size(),
+                            f) != summary.metrics_json.size()) {
+                util::log_error("failed to write --metrics-out=" + metrics_out);
+                if (f) std::fclose(f);
+                return 1;
+            }
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("metrics:       %s\n", metrics_out.c_str());
+        }
+    }
+    const std::string trace_written = util::trace::stop_and_write();
+    if (!trace_written.empty())
+        std::printf("trace:         %s\n", trace_written.c_str());
+
     if (summary.cells_pending > 0)
         std::printf("(incomplete — rerun with --resume to finish)\n");
     return 0;

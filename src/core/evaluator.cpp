@@ -5,7 +5,9 @@
 #include "map/tiling.h"
 #include "nn/infer.h"
 #include "tensor/ops.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 #include "xbar/mapper.h"
 #include "xbar/pipeline.h"
 
@@ -292,6 +294,8 @@ EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
     };
     RepeatBuffer buffers[2];
     const auto degrade_repeat = [&](std::int64_t r, RepeatBuffer& out) {
+        XS_TIMER_NS("core.degrade_repeat.ns");
+        XS_TRACE_SPAN("degrade_repeat");
         const std::uint64_t run_seed =
             config.seed + static_cast<std::uint64_t>(r) * 7919;
         util::Rng rng(run_seed);
@@ -337,8 +341,12 @@ EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
             one.layers.push_back(layer_stats_of(plans[i], cur.stats[i]));
             overrides[i] = &cur.weights[i];
         }
-        engine.refresh(overrides);
-        one.accuracy = nn::evaluate(engine, test);
+        {
+            XS_TIMER_NS("core.infer_repeat.ns");
+            XS_TRACE_SPAN("infer_repeat");
+            engine.refresh(overrides);
+            one.accuracy = nn::evaluate(engine, test);
+        }
 
         finalize_nf(one);
         if (r == 0) {
@@ -355,6 +363,8 @@ EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
 }
 
 EvalResult measure_nf(nn::Sequential& model, const EvalConfig& config) {
+    XS_TIMER_NS("core.measure_nf.ns");
+    XS_TRACE_SPAN("measure_nf");
     EvalResult result;
     degrade_model_matrices(model, config, &result.layers);
     finalize_nf(result);

@@ -6,7 +6,9 @@
 #include "nn/linear.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 #include <algorithm>
 #include <cmath>
@@ -275,6 +277,9 @@ const Tensor& InferenceEngine::forward(const float* x, const Shape& shape) {
 }
 
 const Tensor& InferenceEngine::run(const float* x, const Shape& shape) {
+    XS_TIMER_NS("nn.forward.ns");
+    XS_COUNT("nn.forwards", 1);
+    XS_TRACE_SPAN("forward");
     cur_shape_ = shape;  // capacity-reusing copy
     const float* cur = x;
     int cur_arena = -1;   // -1: reading caller storage (zero-copy input)
@@ -303,6 +308,8 @@ const Tensor& InferenceEngine::run(const float* x, const Shape& shape) {
     for (Step& step : steps_) {
         switch (step.kind) {
             case Step::Kind::kConv: {
+                XS_TIMER_NS("nn.step.conv.ns");
+                XS_TRACE_SPAN("conv");
                 check(cur_shape_.size() == 4 && cur_shape_[1] == step.cin,
                       "InferenceEngine: conv input shape mismatch");
                 const std::int64_t n = cur_shape_[0], h = cur_shape_[2],
@@ -357,17 +364,38 @@ const Tensor& InferenceEngine::run(const float* x, const Shape& shape) {
                     (step.cout + tensor::kPackMr - 1) / tensor::kPackMr;
                 const std::int64_t n_blocks =
                     (total_panels + block_panels - 1) / block_panels;
+                // Per-block pack/kernel timing is detail-gated
+                // (XS_METRICS=detail): always-on it would add hundreds of
+                // clock reads per layer to the hottest loop in the engine.
+                const bool split_timing = util::metrics::detail_enabled();
+                std::uint64_t pack_ns = 0, kernel_ns = 0;
                 for (std::int64_t nb = 0; nb < n_blocks; ++nb) {
                     const std::int64_t p_lo = nb * block_panels;
                     const std::int64_t p_hi =
                         std::min(total_panels, p_lo + block_panels);
+                    const std::uint64_t t0 =
+                        split_timing ? util::metrics::detail::now_ns() : 0;
                     util::parallel_for_workers(
                         static_cast<std::size_t>(p_lo),
                         static_cast<std::size_t>(p_hi), &pack_kernel, &pctx);
+                    const std::uint64_t t1 =
+                        split_timing ? util::metrics::detail::now_ns() : 0;
                     util::parallel_for_workers(
                         static_cast<std::size_t>(nb * row_panels),
                         static_cast<std::size_t>((nb + 1) * row_panels),
                         &gemm_tile_kernel, &tctx);
+                    if (split_timing) {
+                        pack_ns += t1 - t0;
+                        kernel_ns += util::metrics::detail::now_ns() - t1;
+                    }
+                }
+                if (split_timing) {
+                    static const util::metrics::Histogram pack_hist =
+                        util::metrics::histogram("gemm.pack.ns");
+                    static const util::metrics::Histogram kernel_hist =
+                        util::metrics::histogram("gemm.kernel.ns");
+                    pack_hist.record(pack_ns);
+                    kernel_hist.record(kernel_ns);
                 }
                 cur = y.data();
                 cur_arena = dst;
@@ -380,6 +408,8 @@ const Tensor& InferenceEngine::run(const float* x, const Shape& shape) {
                 break;
             }
             case Step::Kind::kLinear: {
+                XS_TIMER_NS("nn.step.linear.ns");
+                XS_TRACE_SPAN("linear");
                 check(cur_shape_.size() == 2 &&
                           cur_shape_[1] == step.in_features,
                       "InferenceEngine: linear input shape mismatch");

@@ -179,6 +179,10 @@ ManifestLoad load_manifest_file(const std::string& path) {
     std::string line;
     while (std::getline(in, line)) {
         if (line.empty()) continue;
+        // Telemetry summary record (nested JSON, so the exactly-one-brace
+        // cell decoder would misread it as torn): informational only, skip
+        // without counting it corrupt.
+        if (line.compare(0, 12, "{\"metrics\":{") == 0) continue;
         const auto cfg = line.find("\"sweep_config\":\"");
         if (cfg != std::string::npos) {
             const auto start = cfg + std::strlen("\"sweep_config\":\"");
@@ -243,6 +247,10 @@ void ManifestWriter::record_config(const std::string& fingerprint) {
 
 void ManifestWriter::record(const std::string& cell_id, const CellResult& r) {
     write_line(encode_manifest_line(cell_id, r), /*count_record=*/true);
+}
+
+void ManifestWriter::record_metrics(const std::string& metrics_json) {
+    write_line("{\"metrics\":" + metrics_json + "}", /*count_record=*/false);
 }
 
 }  // namespace xs::sweep

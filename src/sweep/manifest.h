@@ -92,6 +92,10 @@ public:
     // silently mixing two configurations' results.
     void record_config(const std::string& fingerprint);
     void record(const std::string& cell_id, const CellResult& r);
+    // Uncounted informational record appended at the end of a run:
+    // {"metrics":<util/metrics.h snapshot JSON>}. The loader skips it
+    // silently (nested JSON would otherwise trip the torn-record check).
+    void record_metrics(const std::string& metrics_json);
     bool ok() const { return ok_; }
 
 private:

@@ -3,7 +3,9 @@
 #include "map/energy.h"
 #include "util/csv.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -48,11 +50,18 @@ std::vector<core::ModelSpec> distinct_model_specs(
 // of the supervisor's worker processes (sweep/supervisor.h).
 CellResult run_sweep_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
                           const SweepCell& cell) {
+    XS_TIMER_NS("sweep.cell.ns");
+    XS_TRACE_SPAN("cell");
+    XS_COUNT("sweep.cells.executed", 1);
     const auto t0 = std::chrono::steady_clock::now();
     const core::ModelSpec model_spec =
         ctx.spec(cell.variant, cell.num_classes, cell.prune.method,
                  cell.prune.sparsity, cell.mitigation.wct);
-    core::PreparedModel& model = ctx.prepared(model_spec);
+    core::PreparedModel& model = [&]() -> core::PreparedModel& {
+        XS_TIMER_NS("sweep.phase.prepare.ns");
+        XS_TRACE_SPAN("cell.prepare");
+        return ctx.prepared(model_spec);
+    }();
 
     core::EvalConfig eval = ctx.eval_config(model, cell.prune.method,
                                             cell.xbar_size,
@@ -70,14 +79,18 @@ CellResult run_sweep_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
     eval.warm_start_solves = spec.warm_start_solves;
 
     core::EvalResult r;
-    if (spec.nf_only) {
-        // NF is a parasitics metric (paper Fig. 3(d)): no inference pass,
-        // no device variation.
-        eval.include_variation = false;
-        r = core::measure_nf(model.model, eval);
-    } else {
-        const data::TrainTest& tt = ctx.dataset(cell.num_classes);
-        r = core::evaluate_on_crossbars(model.model, tt.test, eval);
+    {
+        XS_TIMER_NS("sweep.phase.eval.ns");
+        XS_TRACE_SPAN("cell.eval");
+        if (spec.nf_only) {
+            // NF is a parasitics metric (paper Fig. 3(d)): no inference
+            // pass, no device variation.
+            eval.include_variation = false;
+            r = core::measure_nf(model.model, eval);
+        } else {
+            const data::TrainTest& tt = ctx.dataset(cell.num_classes);
+            r = core::evaluate_on_crossbars(model.model, tt.test, eval);
+        }
     }
     const map::EnergyReport energy = map::estimate_energy(
         model.model, cell.prune.method, eval.xbar, map::EnergyConfig{});
@@ -139,6 +152,8 @@ void aggregate_and_write_csv(const std::vector<SweepCell>& cells,
                              const SweepSpec& spec,
                              const std::map<std::string, CellResult>& results,
                              SweepSummary& summary) {
+    XS_TIMER_NS("sweep.phase.aggregate.ns");
+    XS_TRACE_SPAN("aggregate");
     // Aggregate groups in expansion order; `repeat` is the innermost axis,
     // so one group's cells are contiguous. Failed (quarantined) cells never
     // contribute numbers: their groups stay incomplete and off the CSV.
@@ -274,6 +289,34 @@ SweepSummary SweepRunner::run() {
     std::vector<std::exception_ptr> errors(nshards);
     std::atomic<std::int64_t> completed{0};
     std::atomic<std::int64_t> over_budget{0};
+    // Heartbeat state: checked after every completed cell, emitted by
+    // whichever shard wins the CAS once the interval elapses.
+    const util::Stopwatch run_clock;
+    std::atomic<std::int64_t> last_beat_ms{0};
+    const std::int64_t beat_interval_ms =
+        static_cast<std::int64_t>(opts_.progress_sec * 1000.0);
+    const auto maybe_heartbeat = [&](std::int64_t done) {
+        if (beat_interval_ms <= 0) return;
+        const auto now_ms =
+            static_cast<std::int64_t>(run_clock.seconds() * 1000.0);
+        std::int64_t prev = last_beat_ms.load(std::memory_order_relaxed);
+        if (now_ms - prev < beat_interval_ms ||
+            !last_beat_ms.compare_exchange_strong(prev, now_ms))
+            return;
+        const double rate =
+            now_ms > 0 ? static_cast<double>(done) * 1000.0 /
+                             static_cast<double>(now_ms)
+                       : 0.0;
+        const std::int64_t remaining =
+            static_cast<std::int64_t>(pending.size()) - done;
+        util::log_info(
+            "progress: " + std::to_string(done) + "/" +
+            std::to_string(pending.size()) + " cells, " +
+            util::fmt(rate, 2) + " cells/s, eta " +
+            (rate > 0.0
+                 ? util::fmt(static_cast<double>(remaining) / rate, 0) + " s"
+                 : "--"));
+    };
     util::parallel_for_workers(
         0, nshards, [&](std::size_t, std::size_t lo, std::size_t hi) {
             for (std::size_t s = lo; s < hi; ++s) {
@@ -282,7 +325,9 @@ SweepSummary SweepRunner::run() {
                         const SweepCell& cell = cells[pending[p]];
                         executed[p] = run_sweep_cell(ctx_, spec_, cell);
                         manifest.record(cell.id(), executed[p]);
+                        XS_COUNT("sweep.cells.done", 1);
                         const std::int64_t n = ++completed;
+                        maybe_heartbeat(n);
                         util::log_info(
                             "sweep cell " + std::to_string(n) + "/" +
                             std::to_string(pending.size()) + " " + cell.id() +
@@ -322,6 +367,13 @@ SweepSummary SweepRunner::run() {
         results[cells[pending[p]].id()] = executed[p];
 
     aggregate_and_write_csv(cells, spec_, results, summary);
+#if XS_TELEMETRY_ENABLED
+    // Snapshot after aggregation so the aggregate phase timing is included;
+    // the manifest copy is an uncounted informational record (resume skips
+    // it without warning).
+    summary.metrics_json = util::metrics::to_json(util::metrics::snapshot());
+    manifest.record_metrics(summary.metrics_json);
+#endif
     return summary;
 }
 

@@ -49,6 +49,10 @@ struct SweepOptions {
     // its dispatched cells (and records them in the manifest, so --resume
     // loses nothing), then throws listing the overrun count.
     bool cell_budget_abort = false;
+    // Emit a progress heartbeat on stderr every this many seconds while
+    // cells execute (cells done/failed/retried, rate, ETA, and — under the
+    // supervisor — per-worker liveness). 0 disables the heartbeat.
+    double progress_sec = 0.0;
 };
 
 // One aggregation group (= one CSV row): all repeats of a grid point.
@@ -80,7 +84,13 @@ struct SweepSummary {
     std::vector<std::string> failed_cells;  // their ids, expansion order
     std::int64_t worker_restarts = 0;
     std::int64_t watchdog_kills = 0;
+    std::int64_t cell_retries = 0;  // supervisor re-deals after crash/hang/fail
     std::int64_t manifest_lines_skipped = 0;  // corrupt lines ignored on resume
+    // Merged telemetry snapshot (util/metrics.h JSON schema): this process
+    // plus — under the supervisor — every worker's kMetrics frame. Also
+    // appended to the manifest as an uncounted {"metrics": ...} record.
+    // Empty when telemetry is compiled out.
+    std::string metrics_json;
     std::string csv_path;
     std::string manifest_path;
 };

@@ -5,6 +5,7 @@
 #include "util/csv.h"
 #include "util/faultinject.h"
 #include "util/log.h"
+#include "util/metrics.h"
 
 #include <algorithm>
 #include <chrono>
@@ -127,7 +128,16 @@ int worker_main(core::ExperimentContext& ctx, const SweepSpec& spec,
 
     wire::Message msg;
     while (wire::read_message(in_fd, msg)) {
-        if (msg.type == wire::MsgType::kShutdown) break;
+        if (msg.type == wire::MsgType::kShutdown) {
+#if XS_TELEMETRY_ENABLED
+            // Parting gift: this process's telemetry, merged by the
+            // coordinator into the sweep-wide snapshot.
+            wire::write_message(
+                out_fd, wire::MsgType::kMetrics,
+                util::metrics::to_json(util::metrics::snapshot()));
+#endif
+            break;
+        }
         if (msg.type != wire::MsgType::kDeal) {
             util::log_error("worker: unexpected message type " +
                             std::to_string(static_cast<int>(msg.type)));
@@ -140,6 +150,8 @@ int worker_main(core::ExperimentContext& ctx, const SweepSpec& spec,
             return 1;
         }
         const SweepCell& cell = cells[static_cast<std::size_t>(index)];
+        XS_DLOG("worker: dealt cell " + cell.id() + " (attempt " +
+                std::to_string(attempt + 1) + ")");
         try {
             // Fault-injection seam: crash/hang/fail here, by grid index, on
             // the configured attempt — the supervisor's recovery paths are
@@ -230,6 +242,11 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
                       "supervisor: manifest writes to '" +
                           summary.manifest_path + "' failed");
         aggregate_and_write_csv(cells, spec, results, summary);
+#if XS_TELEMETRY_ENABLED
+        summary.metrics_json =
+            util::metrics::to_json(util::metrics::snapshot());
+        manifest.record_metrics(summary.metrics_json);
+#endif
         return summary;
     }
 
@@ -256,6 +273,7 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
     std::vector<Worker> workers(nworkers);
     std::int64_t restarts_left = sup.max_worker_restarts;
     std::size_t done_count = 0;
+    std::int64_t quarantined = 0;
 
     // Quarantine or schedule a retry for pending[p] after a failed attempt.
     const auto attempt_failed = [&](std::size_t p, const std::string& reason) {
@@ -272,6 +290,7 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
             results[cell.id()] = fr;
             pc.done = true;
             ++done_count;
+            ++quarantined;
             util::log_warn("supervisor: quarantined cell " + cell.id() +
                            " after " + std::to_string(pc.attempts) +
                            " attempt(s): " + reason);
@@ -280,6 +299,8 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
                 sup.retry_backoff_ms *
                 std::pow(2.0, static_cast<double>(pc.attempts - 1));
             pc.eligible_at = now_ms() + backoff;
+            ++summary.cell_retries;
+            XS_COUNT("sweep.cells.retried", 1);
             util::log_warn("supervisor: cell " + cell.id() + " attempt " +
                            std::to_string(pc.attempts) + " failed (" + reason +
                            "); retrying in " + util::fmt(backoff, 0) + " ms");
@@ -324,6 +345,8 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
 
     std::vector<pollfd> fds;
     std::vector<std::size_t> fd_owner;
+    const util::Stopwatch run_clock;
+    double next_beat = opts.progress_sec;
     while (done_count < pending.size()) {
         const double now = now_ms();
 
@@ -377,6 +400,9 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
         for (const PendingCell& pc : pending)
             if (!pc.done && !pc.in_flight && pc.eligible_at > now)
                 timeout = std::min(timeout, pc.eligible_at - now);
+        if (opts.progress_sec > 0.0)
+            timeout =
+                std::min(timeout, (next_beat - run_clock.seconds()) * 1000.0);
         timeout = std::max(timeout, 0.0);
 
         fds.clear();
@@ -418,12 +444,21 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
                                 "' does not match the dealt cell");
                         manifest.record(id, r);  // durable before counted
                         results[id] = r;
+                        XS_COUNT("sweep.cells.done", 1);
                         PendingCell& pc =
                             pending[static_cast<std::size_t>(w.dealt)];
                         pc.done = true;
                         pc.in_flight = false;
                         ++done_count;
                         ++summary.cells_executed;
+                        if (opts.cell_budget_ms > 0.0 &&
+                            r.wall_ms > opts.cell_budget_ms) {
+                            ++summary.cells_over_budget;
+                            util::log_warn(
+                                "sweep cell " + id + " over budget: " +
+                                util::fmt(r.wall_ms, 0) + " ms > " +
+                                util::fmt(opts.cell_budget_ms, 0) + " ms");
+                        }
                         w.dealt = -1;
                         w.deadline = 0.0;
                         w.ready = true;
@@ -465,6 +500,10 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
                     continue;
                 ::kill(w.pid, SIGKILL);
                 ++summary.watchdog_kills;
+                // A watchdog kill *is* a budget overrun: the attempt held
+                // the cell past cell_budget_ms, so the supervised path
+                // counts it like the in-process runner counts a slow cell.
+                ++summary.cells_over_budget;
                 worker_died(wi, "watchdog-killed after " +
                                     util::fmt(opts.cell_budget_ms, 0) +
                                     " ms on cell " +
@@ -473,6 +512,33 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
                                               .cell_index]
                                         .id());
             }
+        }
+
+        // Progress heartbeat: the poll timeout is capped so this fires on
+        // schedule even when the pipes are quiet.
+        if (opts.progress_sec > 0.0 && run_clock.seconds() >= next_beat) {
+            next_beat = run_clock.seconds() + opts.progress_sec;
+            std::size_t alive = 0, busy = 0;
+            for (const Worker& w : workers) {
+                if (!w.alive) continue;
+                ++alive;
+                if (w.dealt >= 0) ++busy;
+            }
+            const double elapsed = run_clock.seconds();
+            const double rate =
+                elapsed > 0.0 ? static_cast<double>(done_count) / elapsed : 0.0;
+            const double left =
+                static_cast<double>(pending.size() - done_count);
+            util::log_info(
+                "progress: " + std::to_string(done_count) + "/" +
+                std::to_string(pending.size()) + " cells (" +
+                std::to_string(quarantined) + " failed, " +
+                std::to_string(summary.cell_retries) + " retries), " +
+                util::fmt(rate, 2) + " cells/s, eta " +
+                (rate > 0.0 ? util::fmt(left / rate, 0) + " s" : "?") +
+                "; workers: " + std::to_string(alive) + "/" +
+                std::to_string(nworkers) + " alive, " + std::to_string(busy) +
+                " busy");
         }
     }
 
@@ -483,6 +549,37 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
         close_fd(w.deal_fd);
     }
     const double grace_deadline = now_ms() + 5000.0;
+#if XS_TELEMETRY_ENABLED
+    // Each worker answers kShutdown with one kMetrics frame before exiting;
+    // fold those into the coordinator's own snapshot under the same grace
+    // deadline the reaper uses. A worker that dies without the frame just
+    // contributes nothing — telemetry never blocks shutdown past the grace.
+    util::metrics::Snapshot merged = util::metrics::snapshot();
+    for (Worker& w : workers) {
+        if (!w.alive) continue;
+        wire::Message msg;
+        while (true) {
+            if (w.reader.pop(msg)) {  // buffered frames survive EOF
+                if (msg.type == wire::MsgType::kMetrics) {
+                    util::metrics::Snapshot snap;
+                    if (util::metrics::from_json(msg.payload, snap))
+                        util::metrics::merge(merged, snap);
+                    else
+                        util::log_warn(
+                            "supervisor: discarding an unparsable metrics "
+                            "frame from worker pid " + std::to_string(w.pid));
+                }
+                continue;  // late hellos/acks carry nothing actionable now
+            }
+            if (w.reader.finished()) break;
+            const double left = grace_deadline - now_ms();
+            if (left <= 0.0) break;
+            pollfd pfd{w.ack_fd, POLLIN, 0};
+            ::poll(&pfd, 1, static_cast<int>(std::ceil(left)));
+            w.reader.fill();
+        }
+    }
+#endif
     for (Worker& w : workers) {
         if (!w.alive) continue;
         int wstatus = 0;
@@ -504,6 +601,10 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
                                      summary.manifest_path +
                                      "' failed; resume state is incomplete");
     aggregate_and_write_csv(cells, spec, results, summary);
+#if XS_TELEMETRY_ENABLED
+    summary.metrics_json = util::metrics::to_json(merged);
+    manifest.record_metrics(summary.metrics_json);
+#endif
     return summary;
 }
 

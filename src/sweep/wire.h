@@ -10,6 +10,8 @@
 //   worker → coordinator:  kHello  (ready for work)
 //                          kAck    (payload = the cell's manifest JSONL line)
 //                          kFail   (payload = error text; worker stays alive)
+//                          kMetrics (payload = util/metrics.h snapshot JSON,
+//                                    sent once in response to kShutdown)
 //   coordinator → worker:  kDeal   (payload = "<cell index> <attempt>")
 //                          kShutdown
 //
@@ -31,6 +33,7 @@ enum class MsgType : std::uint8_t {
     kShutdown = 3,
     kAck = 4,
     kFail = 5,
+    kMetrics = 6,
 };
 
 struct Message {

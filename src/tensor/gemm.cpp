@@ -1,6 +1,7 @@
 #include "tensor/gemm.h"
 
 #include "tensor/ops.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 
 #include <algorithm>
@@ -353,6 +354,7 @@ void gemm_impl(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
     if (k <= 0 || alpha == 0.0f) return;
 
     if (m * n * k > (1 << 14) && a_is_sparse(m, k, a, lda)) {
+        XS_COUNT("gemm.sparse_takes", 1);
         const bool parallel = allow_parallel && util::worker_count() > 1 &&
                               m > 1 && m * n * k > (1 << 18);
         if (parallel) {
@@ -412,9 +414,11 @@ void gemm_pack_a(std::int64_t m, std::int64_t k, const float* a,
     // weight matrix keeps the zero-skip multiply and needs no panels.
     out.sparse = m * k > (1 << 10) && a_is_sparse(m, k, a, lda);
     if (out.sparse) {
+        XS_COUNT("gemm.pack_a.sparse", 1);
         out.panels.clear();
         return;
     }
+    XS_COUNT("gemm.pack_a.dense", 1);
     const std::int64_t row_panels = (m + kMr - 1) / kMr;
     out.panels.resize(static_cast<std::size_t>(row_panels * kMr * k));
     // Block layout matches the multiply loop: consecutive k-blocks, each

@@ -1,12 +1,26 @@
 #include "util/log.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace xs::util {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+LogLevel level_from_env() {
+    const char* env = std::getenv("XS_LOG");
+    if (env == nullptr) return LogLevel::kInfo;
+    if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+    if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+    std::fprintf(stderr, "[WARN] unknown XS_LOG level '%s'; using info\n",
+                 env);
+    return LogLevel::kInfo;
+}
+
+LogLevel g_level = level_from_env();
 std::string g_prefix;
 std::mutex g_mutex;
 

@@ -8,7 +8,9 @@ namespace xs::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global minimum level; messages below it are dropped.
+// Global minimum level; messages below it are dropped. Initialized from the
+// XS_LOG environment variable (debug|info|warn|error; default info);
+// set_log_level() overrides.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -23,6 +25,23 @@ inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
 inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
 inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
 inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+// Debug logging that compiles out entirely with -DXS_LOG_DEBUG_ENABLED=0
+// (CMake option XS_DEBUG_LOG=OFF): the message expression is never
+// evaluated. With it compiled in, the level check short-circuits message
+// construction when XS_LOG is above debug.
+#ifndef XS_LOG_DEBUG_ENABLED
+#define XS_LOG_DEBUG_ENABLED 1
+#endif
+#if XS_LOG_DEBUG_ENABLED
+#define XS_DLOG(msg)                                                \
+    do {                                                            \
+        if (::xs::util::log_level() <= ::xs::util::LogLevel::kDebug) \
+            ::xs::util::log_debug(msg);                             \
+    } while (0)
+#else
+#define XS_DLOG(msg) ((void)0)
+#endif
 
 // Wall-clock stopwatch for coarse phase timing in trainers and benches.
 class Stopwatch {

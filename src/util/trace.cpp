@@ -1,0 +1,146 @@
+#include "util/trace.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace xs::util::trace {
+namespace {
+
+constexpr std::size_t kReserveEvents = 1 << 14;  // per thread, ~384 KiB
+
+struct Event {
+    const char* name;
+    std::uint64_t t0_ns;
+    std::uint64_t dur_ns;
+};
+
+struct ThreadBuffer {
+    int tid = 0;
+    std::vector<Event> events;
+};
+
+struct Session {
+    std::mutex mutex;
+    std::string path;
+    std::uint64_t origin_ns = 0;
+    bool started = false;
+    int next_tid = 1;
+    std::vector<ThreadBuffer*> live;
+    // Buffers from exited threads, kept until stop_and_write().
+    std::vector<ThreadBuffer> retired;
+};
+
+Session& session() {
+    static Session* s = new Session();
+    return *s;
+}
+
+struct BufferOwner {
+    ThreadBuffer* buf = nullptr;
+    ~BufferOwner() {
+        if (!buf) return;
+        Session& s = session();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        for (auto it = s.live.begin(); it != s.live.end(); ++it) {
+            if (*it == buf) {
+                s.live.erase(it);
+                break;
+            }
+        }
+        s.retired.push_back(std::move(*buf));
+        delete buf;
+        buf = nullptr;
+    }
+};
+
+thread_local BufferOwner t_buffer_owner;
+
+ThreadBuffer& my_buffer() {
+    if (!t_buffer_owner.buf) {
+        ThreadBuffer* b = new ThreadBuffer();
+        b->events.reserve(kReserveEvents);
+        Session& s = session();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        b->tid = s.next_tid++;
+        s.live.push_back(b);
+        t_buffer_owner.buf = b;
+    }
+    return *t_buffer_owner.buf;
+}
+
+void write_events(std::FILE* f, const ThreadBuffer& buf,
+                  std::uint64_t origin_ns, int pid, bool& first) {
+    for (const Event& e : buf.events) {
+        std::uint64_t rel = e.t0_ns >= origin_ns ? e.t0_ns - origin_ns : 0;
+        std::fprintf(f,
+                     "%s{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                     "\"dur\":%.3f,\"pid\":%d,\"tid\":%d}",
+                     first ? "\n" : ",\n", e.name,
+                     static_cast<double>(rel) / 1000.0,
+                     static_cast<double>(e.dur_ns) / 1000.0, pid, buf.tid);
+        first = false;
+    }
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void emit(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns) {
+    if (!g_enabled.load(std::memory_order_relaxed)) return;
+    ThreadBuffer& buf = my_buffer();
+    buf.events.push_back(
+        Event{name, t0_ns, t1_ns >= t0_ns ? t1_ns - t0_ns : 0});
+}
+
+}  // namespace detail
+
+void start(const std::string& path) {
+    Session& s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.path = path;
+    s.origin_ns = detail::now_ns();
+    s.started = true;
+    for (ThreadBuffer* b : s.live) b->events.clear();
+    s.retired.clear();
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+std::string stop_and_write() {
+    Session& s = session();
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.started) return "";
+    std::FILE* f = std::fopen(s.path.c_str(), "w");
+    if (f == nullptr) return "";
+    const int pid = static_cast<int>(::getpid());
+    std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    bool first = true;
+    for (const ThreadBuffer* b : s.live)
+        write_events(f, *b, s.origin_ns, pid, first);
+    for (const ThreadBuffer& b : s.retired)
+        write_events(f, b, s.origin_ns, pid, first);
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    for (ThreadBuffer* b : s.live) b->events.clear();
+    s.retired.clear();
+    s.started = false;
+    std::string written = s.path;
+    s.path.clear();
+    return written;
+}
+
+}  // namespace xs::util::trace

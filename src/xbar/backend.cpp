@@ -1,5 +1,8 @@
 #include "xbar/backend.h"
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -32,6 +35,7 @@ CircuitBackend::CircuitBackend(const CrossbarConfig& config, bool warm_start)
 
 void CircuitBackend::degrade(const Tensor& g, DegradeWorkspace& ws,
                              TileDegradeResult& out) const {
+    XS_COUNT("xbar.circuit.tiles", 1);
     if (!warm_start_) ws.solve.invalidate();
     degrade_tile(g, solver_, ws, out);
 }
@@ -76,15 +80,36 @@ std::int64_t FastBackend::calibrations() const {
 
 const FastBackend::Calibration& FastBackend::calibration_for(
     std::int64_t bucket) const {
+#if XS_TELEMETRY_ENABLED
+    // Hoisted out of the branches: registering inside a branch would
+    // allocate on the first cache *hit*, after warm-up already promised a
+    // zero-allocation steady state.
+    static const util::metrics::Counter hits =
+        util::metrics::counter("xbar.fast.calibration_hits");
+    static const util::metrics::Counter builds =
+        util::metrics::counter("xbar.fast.calibration_builds");
+#endif
     // Lock-free fast path: the pointer is published with release order once
     // the calibration is fully built.
     auto& slot = cache_->slots[static_cast<std::size_t>(bucket)];
-    if (const Calibration* cal = slot.load(std::memory_order_acquire))
+    if (const Calibration* cal = slot.load(std::memory_order_acquire)) {
+#if XS_TELEMETRY_ENABLED
+        hits.add(1);
+#endif
         return *cal;
+    }
 
     std::lock_guard<std::mutex> lock(cache_->build_mu);
-    if (const Calibration* cal = slot.load(std::memory_order_acquire))
+    if (const Calibration* cal = slot.load(std::memory_order_acquire)) {
+#if XS_TELEMETRY_ENABLED
+        hits.add(1);
+#endif
         return *cal;  // another builder published it meanwhile
+    }
+#if XS_TELEMETRY_ENABLED
+    builds.add(1);
+#endif
+    XS_TRACE_SPAN("fast.calibrate");
 
     // One exact solve of the uniform bucket-center tile at the calibration
     // input. Cold-started and a function of the bucket only, so the cached
@@ -121,6 +146,7 @@ const FastBackend::Calibration& FastBackend::calibration_for(
 
 void FastBackend::degrade(const Tensor& g, DegradeWorkspace& ws,
                           TileDegradeResult& out) const {
+    XS_COUNT("xbar.fast.tiles", 1);
     const std::int64_t n = config_.size;
     tensor::check(g.rank() == 2 && g.dim(0) == n && g.dim(1) == n,
                   "FastBackend: conductance matrix shape mismatch");

@@ -1,5 +1,6 @@
 #include "xbar/pipeline.h"
 
+#include "util/trace.h"
 #include "xbar/quantize.h"
 
 namespace xs::xbar {
@@ -124,7 +125,24 @@ void TilePipeline::set_backend(std::unique_ptr<CrossbarBackend> backend) {
 }
 
 void TilePipeline::add(std::unique_ptr<TileStage> stage) {
+#if XS_TELEMETRY_ENABLED
+    stage_timers_.push_back(util::metrics::histogram(
+        std::string("xbar.stage.") + stage->name() + ".ns"));
+#endif
     stages_.push_back(std::move(stage));
+}
+
+void TilePipeline::run(TileStageContext& ctx) const {
+#if XS_TELEMETRY_ENABLED
+    XS_TIMER_NS("xbar.tile.ns");
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        util::trace::Span span(stages_[i]->name());
+        util::metrics::ScopedTimerNs stage_timer(stage_timers_[i]);
+        stages_[i]->apply(ctx);
+    }
+#else
+    for (const auto& stage : stages_) stage->apply(ctx);
+#endif
 }
 
 std::string TilePipeline::describe() const {

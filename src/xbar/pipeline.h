@@ -18,6 +18,7 @@
 #pragma once
 
 #include "tensor/tensor.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "xbar/backend.h"
 #include "xbar/config.h"
@@ -84,10 +85,11 @@ public:
     void set_backend(std::unique_ptr<CrossbarBackend> backend);
     void add(std::unique_ptr<TileStage> stage);
 
-    // Apply every stage in order to the context's active pair.
-    void run(TileStageContext& ctx) const {
-        for (const auto& stage : stages_) stage->apply(ctx);
-    }
+    // Apply every stage in order to the context's active pair. Each stage is
+    // timed into an "xbar.stage.<name>.ns" histogram (registered once in
+    // add()) and wrapped in a trace span; the whole tile lands in
+    // "xbar.tile.ns".
+    void run(TileStageContext& ctx) const;
 
     std::size_t size() const { return stages_.size(); }
     const CrossbarBackend* backend() const { return backend_.get(); }
@@ -98,6 +100,8 @@ public:
 private:
     std::unique_ptr<CrossbarBackend> backend_;
     std::vector<std::unique_ptr<TileStage>> stages_;
+    // One per stage, parallel to stages_ (empty with XS_TELEMETRY=OFF).
+    std::vector<util::metrics::Histogram> stage_timers_;
 };
 
 // Everything the stage list depends on; core::EvalConfig maps onto this

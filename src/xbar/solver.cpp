@@ -1,5 +1,7 @@
 #include "xbar/solver.h"
 
+#include "util/metrics.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -72,6 +74,19 @@ bool CircuitSolver::solve(const Tensor& g, const double* v_in,
     check(g.rank() == 2 && g.dim(0) == n && g.dim(1) == n,
           "CircuitSolver: conductance matrix shape mismatch");
     ws.ensure(n);
+    XS_TIMER_NS("xbar.solve.ns");
+    XS_COUNT("xbar.solve.solves", 1);
+#if XS_TELEMETRY_ENABLED
+    // Handles hoisted out of their conditions: a branch-local XS_COUNT
+    // would register (and allocate) on the first *taken* branch, breaking
+    // the zero-allocation steady state when e.g. the first warm start
+    // happens after warm-up.
+    static const util::metrics::Counter warm_starts =
+        util::metrics::counter("xbar.solve.warm_starts");
+    static const util::metrics::Counter unconverged =
+        util::metrics::counter("xbar.solve.unconverged");
+    if (ws.warm) warm_starts.add(1);
+#endif
 
     const double gdrv = g_driver_, gwr = g_wire_row_, gwc = g_wire_col_,
                  gsn = g_sense_;
@@ -193,6 +208,10 @@ bool CircuitSolver::solve(const Tensor& g, const double* v_in,
     ws.iterations = sweep;
     ws.max_delta = max_delta;
     ws.converged = max_delta < tolerance_;
+    XS_COUNT("xbar.solve.sweeps", static_cast<std::uint64_t>(sweep));
+#if XS_TELEMETRY_ENABLED
+    if (!ws.converged) unconverged.add(1);
+#endif
     // Only a converged field is worth warm-starting from; after a failed
     // solve the next one restarts cold, so bad state never propagates.
     ws.warm = ws.converged;

@@ -13,6 +13,7 @@
 #include "sweep/supervisor.h"
 #include "util/faultinject.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -207,8 +208,51 @@ TEST(SweepSupervisor, WatchdogKillsHungWorkerAndSweepRecovers) {
     EXPECT_GE(summary.worker_restarts, 1);
     EXPECT_EQ(summary.cells_executed, 4);
     EXPECT_EQ(summary.cells_failed, 0);
+    // A watchdog kill is a budget overrun: the supervised path must count
+    // it into cells_over_budget exactly like the in-process runner counts
+    // a slow cell (it used to report 0 here).
+    EXPECT_GE(summary.cells_over_budget, 1);
+    EXPECT_GE(summary.cell_retries, 1);  // the killed cell was re-dealt
     EXPECT_EQ(slurp(summary.csv_path), baseline_csv());
 }
+
+#if XS_TELEMETRY_ENABLED
+// The shutdown telemetry handshake end to end: every worker answers
+// kShutdown with a kMetrics frame, the coordinator merges the frames with
+// its own snapshot, and the result lands in SweepSummary::metrics_json plus
+// an uncounted {"metrics":...} manifest record that the resume loader
+// skips without flagging corruption.
+TEST(SweepSupervisor, MetricsSnapshotMergesWorkersAndCoordinator) {
+    baseline_csv();
+    util::metrics::reset();  // drop earlier tests' coordinator-side counts
+    SweepOptions opts;
+    opts.csv_name = "sup_metrics.csv";
+    opts.manifest_name = "sup_metrics.jsonl";
+    const SweepSummary summary =
+        run_supervised(ctx(), tiny_spec(), opts, sup_opts());
+    EXPECT_EQ(summary.cells_executed, 4);
+
+    ASSERT_FALSE(summary.metrics_json.empty());
+    util::metrics::Snapshot snap;
+    ASSERT_TRUE(util::metrics::from_json(summary.metrics_json, snap));
+    // Coordinator-side: one sweep.cells.done per durable ack.
+    EXPECT_EQ(snap.counters.at("sweep.cells.done"), 4u);
+    // Worker-side, summed over both workers' kMetrics frames.
+    EXPECT_EQ(snap.counters.at("sweep.cells.executed"), 4u);
+    // Hot-path telemetry only the workers produced — proof the wire merge
+    // actually folded their frames in (the coordinator ran no solves after
+    // the reset).
+    EXPECT_GT(snap.counters.at("xbar.solve.solves"), 0u);
+    EXPECT_EQ(snap.histograms.at("sweep.cell.ns").count, 4u);
+
+    // The manifest carries the record, and reloads without corruption.
+    const std::string raw = slurp(summary.manifest_path);
+    EXPECT_NE(raw.find("{\"metrics\":{"), std::string::npos);
+    const ManifestLoad load = load_manifest_file(summary.manifest_path);
+    EXPECT_EQ(load.skipped_lines, 0);
+    EXPECT_EQ(load.results.size(), 4u);
+}
+#endif
 
 TEST(SweepSupervisor, PoisonCellIsQuarantinedNotFatal) {
     baseline_csv();

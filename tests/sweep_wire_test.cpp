@@ -1,7 +1,9 @@
 // Pipe message framing for the sweep supervisor (sweep/wire.h): round
 // trips, partial-frame reassembly through the nonblocking reader, EOF and
-// corrupt-stream handling, and the deal payload codec.
+// corrupt-stream handling, the kMetrics telemetry frame, and the deal
+// payload codec.
 #include "sweep/wire.h"
+#include "util/metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -115,6 +117,75 @@ TEST(SweepWire, OversizedFrameIsCorruptNotAllocated) {
     Message m;
     EXPECT_FALSE(reader.pop(m));     // corrupt length: never allocated
     EXPECT_TRUE(reader.finished());  // and the stream is marked dead
+}
+
+// The shutdown telemetry handshake end to end at the frame level: a real
+// metrics snapshot serialized, framed as kMetrics, popped by the
+// coordinator-side reader, and parsed back to an identical snapshot.
+TEST(SweepWire, MetricsFrameRoundTripsSnapshotJson) {
+    util::metrics::reset();
+    const util::metrics::Counter c =
+        util::metrics::counter("test.wire.cells");
+    const util::metrics::Histogram h =
+        util::metrics::histogram("test.wire.hist.ns");
+    c.add(7);
+    h.record(300);
+    const util::metrics::Snapshot sent = util::metrics::snapshot();
+
+    Pipe p;
+    p.nonblocking_read();
+    ASSERT_TRUE(write_message(p.w(), MsgType::kMetrics,
+                              util::metrics::to_json(sent)));
+    p.close_write();
+
+    MessageReader reader(p.r());
+    reader.fill();
+    Message m;
+    ASSERT_TRUE(reader.pop(m));
+    EXPECT_EQ(m.type, MsgType::kMetrics);
+    util::metrics::Snapshot received;
+    ASSERT_TRUE(util::metrics::from_json(m.payload, received));
+    EXPECT_TRUE(received == sent);
+    EXPECT_EQ(received.counters.at("test.wire.cells"), 7u);
+}
+
+// A worker killed mid-send leaves a truncated frame in the pipe: the reader
+// must reject it (no partial message popped) at every cut point, and a
+// truncated kMetrics payload that *does* arrive whole-framed but cut short
+// must be rejected by the JSON parser — the two layers that keep a torn
+// telemetry handshake from corrupting the merged snapshot.
+TEST(SweepWire, TruncatedMetricsFrameIsRejected) {
+    util::metrics::reset();
+    util::metrics::counter("test.wire.trunc").add(3);
+    const std::string json = util::metrics::to_json(util::metrics::snapshot());
+
+    // Capture the full frame bytes.
+    std::string frame;
+    {
+        Pipe scratch;
+        ASSERT_TRUE(write_message(scratch.w(), MsgType::kMetrics, json));
+        std::string buf(json.size() + 16, '\0');
+        const ssize_t n = ::read(scratch.r(), buf.data(), buf.size());
+        ASSERT_GT(n, 0);
+        frame.assign(buf.data(), static_cast<std::size_t>(n));
+    }
+    ASSERT_EQ(frame.size(), json.size() + 5);  // 4-byte length + 1-byte type
+
+    for (const std::size_t cut : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{4}, frame.size() / 2,
+                                  frame.size() - 1}) {
+        Pipe p;
+        p.nonblocking_read();
+        ASSERT_EQ(::write(p.w(), frame.data(), cut),
+                  static_cast<ssize_t>(cut));
+        p.close_write();  // the worker died mid-write
+        MessageReader reader(p.r());
+        while (reader.fill()) {
+        }
+        Message m;
+        EXPECT_FALSE(reader.pop(m)) << "cut=" << cut;
+        EXPECT_TRUE(reader.finished());
+    }
 }
 
 TEST(SweepWire, DealCodecRoundTripsAndRejectsGarbage) {
