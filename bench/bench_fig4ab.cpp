@@ -3,12 +3,24 @@
 // CIFAR10-like set (s = 0.8). Paper shape: R recovers several percent of the
 // C/F accuracy loss, most visibly on larger crossbars (~9 % for VGG11 at
 // 64×64, ~6 % for VGG16 at 32×32).
+//
+// Thin driver over the declarative sweep engine (sweep/runner.h): each
+// scheme runs as its own SweepSpec over the size axis — the scheme set is
+// not a cartesian product (the paper applies R to the pruned model only) —
+// so the bench inherits sharded execution, resumable manifests, and
+// deterministic mean±std aggregation; the figure CSV is derived from the
+// sweep rows instead of a hand-written evaluation loop.
+//
+//   ./bench_fig4ab [--variants=vgg11,vgg16] [--sizes=16,32,64]
+//                  [--shards=N] [--resume]
 #include "core/experiments.h"
+#include "sweep/runner.h"
 #include "util/csv.h"
 #include "util/flags.h"
 
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 int main(int argc, char** argv) {
     using namespace xs;
@@ -27,37 +39,59 @@ int main(int argc, char** argv) {
         while (std::getline(ss, item, ','))
             if (!item.empty()) variants.push_back(item);
     }
+
+    struct Scheme {
+        const char* label;
+        const char* slug;  // manifest/CSV file name component
+        sweep::PruneSetting prune;
+        sweep::Mitigation mitigation;
+    };
+    const Scheme schemes[] = {
+        {"unpruned", "unpruned", {prune::Method::kNone, 0.0}, {}},
+        {"C/F", "cf", {prune::Method::kChannelFilter, s}, {}},
+        {"C/F + R", "cf_r", {prune::Method::kChannelFilter, s}, {false, true}},
+    };
+
     for (const std::string& variant : variants) {
         std::printf("Fig 4(%s): %s / CIFAR10-like, s=%.2f\n\n",
                     variant == "vgg11" ? "a" : "b", variant.c_str(), s);
-        util::TextTable table({"scheme", "software", "16x16", "32x32", "64x64"});
 
-        auto& unpruned = ctx.prepared(ctx.spec(variant, 10, prune::Method::kNone, 0.0));
-        auto& pruned =
-            ctx.prepared(ctx.spec(variant, 10, prune::Method::kChannelFilter, s));
+        std::vector<std::string> headers{"scheme", "software"};
+        for (const auto size : ctx.sizes())
+            headers.push_back(std::to_string(size) + "x" + std::to_string(size));
+        util::TextTable table(headers);
 
-        struct Row {
-            const char* label;
-            core::PreparedModel* model;
-            prune::Method method;
-            bool rearrange;
-        };
-        const Row rows[] = {
-            {"unpruned", &unpruned, prune::Method::kNone, false},
-            {"C/F", &pruned, prune::Method::kChannelFilter, false},
-            {"C/F + R", &pruned, prune::Method::kChannelFilter, true},
-        };
-        for (const Row& row : rows) {
-            std::vector<std::string> cells{
-                row.label, util::fmt(row.model->software_accuracy) + "%"};
-            for (const auto size : ctx.sizes()) {
-                const auto eval =
-                    ctx.eval_config(*row.model, row.method, size, row.rearrange);
-                const auto r = core::evaluate_on_crossbars(
-                    row.model->model, ctx.dataset(10).test, eval);
-                csv.row(variant, row.label, size, row.model->software_accuracy,
-                        r.accuracy, r.nf_mean);
-                cells.push_back(util::fmt(r.accuracy) + "%");
+        for (const Scheme& scheme : schemes) {
+            sweep::SweepSpec spec;
+            spec.variants = {variant};
+            spec.class_counts = {10};
+            spec.prunes = {scheme.prune};
+            spec.mitigations = {scheme.mitigation};
+            spec.sizes = ctx.sizes();
+            spec.sigmas = {ctx.sigma()};
+            spec.repeats = ctx.eval_repeats();
+
+            sweep::SweepOptions opts;
+            opts.shards = flags.get_int("shards", 0);
+            opts.resume = flags.get_bool("resume", false);
+            opts.csv_name =
+                "fig4ab_" + variant + "_" + scheme.slug + "_sweep.csv";
+            opts.manifest_name =
+                "fig4ab_" + variant + "_" + scheme.slug + "_manifest.jsonl";
+
+            const sweep::SweepSummary summary =
+                sweep::SweepRunner(ctx, spec, opts).run();
+
+            std::vector<std::string> cells{scheme.label, "--"};
+            for (const sweep::GroupRow& row : summary.rows) {
+                if (!row.complete()) {
+                    cells.push_back("--");
+                    continue;
+                }
+                cells[1] = util::fmt(row.software_acc) + "%";
+                csv.row(variant, scheme.label, row.cell.xbar_size,
+                        row.software_acc, row.acc_mean, row.nf_mean);
+                cells.push_back(util::fmt(row.acc_mean) + "%");
             }
             table.add_row(cells);
         }

@@ -25,6 +25,13 @@
 // (and fails the sweep with --cell-budget-abort); every cell's wall time
 // lands in the manifest either way.
 //
+// --agent=host:port joins a sweep_serve coordinator instead of running a
+// sweep of its own (DESIGN.md §11): the spec/experiment flags must match
+// the service's (the join handshake checks the fingerprint), --workers is
+// this host's advertised capacity, and the agent reconnects with capped
+// exponential backoff (--agent-backoff-ms, --agent-reconnects) when the
+// service drops.
+//
 // Spec files hold the same keys as the flags, one `key = value` per line
 // ('#' comments); CLI flags override the file. Experiment-scale flags
 // (--width, --train-count, --epochs, --out-dir, …) are shared with every
@@ -36,7 +43,9 @@
 //                               write out.json.w<pid> — one file each)
 //   --progress-sec=N            heartbeat on stderr every N seconds
 #include "core/experiments.h"
+#include "sweep/net.h"
 #include "sweep/runner.h"
+#include "sweep/service.h"
 #include "sweep/supervisor.h"
 #include "util/flags.h"
 #include "util/log.h"
@@ -64,6 +73,25 @@ int main(int argc, char** argv) {
             static_cast<int>(flags.get_int("wire-out", -1)));
         util::trace::stop_and_write();
         return rc;
+    }
+
+    // Agent mode (DESIGN.md §11): join a sweep_serve coordinator and execute
+    // whatever cells it deals, on a local worker pool, until it shuts us
+    // down. --workers is advertised as this host's capacity; the agent
+    // reconnects with capped exponential backoff when the service drops.
+    const std::string agent = flags.get_string("agent", "");
+    if (!agent.empty()) {
+        sweep::AgentOptions a;
+        if (!sweep::net::parse_hostport(agent, a.host, a.port)) {
+            util::log_error("bad --agent='" + agent + "' (want host:port)");
+            return 2;
+        }
+        a.workers = flags.get_int("workers", 2);
+        a.worker_cmd = sweep::worker_command_from_argv(argc, argv);
+        a.max_worker_restarts = flags.get_int("worker-restarts", 4);
+        a.reconnect_backoff_ms = flags.get_double("agent-backoff-ms", 250.0);
+        a.max_reconnects = flags.get_int("agent-reconnects", -1);
+        return sweep::run_agent(ctx, spec, a);
     }
 
     if (flags.get_bool("dry-run", false)) {

@@ -1,0 +1,112 @@
+// Multi-host sweep coordinator (DESIGN.md §11): own the grid, the manifest,
+// and the aggregate CSV, and deal cells as leases to agent hosts that join
+// over TCP.
+//
+//   ./sweep_serve --spec=grid.sweep --port=7473 --cell-budget-ms=60000
+//   ./sweep_runner --spec=grid.sweep --agent=hostA:7473 --workers=8
+//
+// Agents run the same spec and experiment flags (the kJoin handshake checks
+// the configuration fingerprint and rejects a mismatch loudly) and execute
+// cells on their local forked worker pools. A host that misses
+// --heartbeat-misses heartbeats or holds a cell past --cell-budget-ms has
+// its cells re-dealt with exponential backoff; a slow host's late duplicate
+// ack is deduped against the manifest, so the aggregate CSV is
+// byte-identical to a single-process run at any host count.
+//
+// SIGTERM/SIGINT (or --drain) drain gracefully: stop dealing, wait out
+// in-flight leases, collect per-host telemetry, and exit with the manifest
+// resumable — rerun with --resume to finish.
+#include "core/experiments.h"
+#include "sweep/runner.h"
+#include "sweep/service.h"
+#include "util/flags.h"
+#include "util/log.h"
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+extern "C" void xs_serve_on_signal(int) { xs::sweep::request_drain(); }
+
+int main(int argc, char** argv) {
+    using namespace xs;
+    const util::Flags flags(argc, argv);
+    core::ExperimentContext ctx(flags);
+    sweep::SweepSpec spec = sweep::parse_sweep_spec(flags);
+
+    sweep::SweepOptions opts;
+    opts.resume = flags.get_bool("resume", false);
+    opts.max_cells = flags.get_int("max-cells", -1);
+    opts.csv_name = flags.get_string("csv", "sweep.csv");
+    opts.manifest_name = flags.get_string("manifest", "sweep_manifest.jsonl");
+    opts.cell_budget_ms = flags.get_double("cell-budget-ms", 0.0);
+    opts.progress_sec = flags.get_double("progress-sec", 0.0);
+
+    sweep::ServiceOptions svc;
+    svc.port = static_cast<std::uint16_t>(flags.get_int("port", 7473));
+    svc.heartbeat_ms = flags.get_double("heartbeat-ms", 1000.0);
+    svc.heartbeat_misses = flags.get_int("heartbeat-misses", 3);
+    svc.max_cell_retries = flags.get_int("cell-retries", 2);
+    svc.retry_backoff_ms = flags.get_double("retry-backoff-ms", 250.0);
+    svc.drain = flags.get_bool("drain", false);
+
+    std::signal(SIGTERM, xs_serve_on_signal);
+    std::signal(SIGINT, xs_serve_on_signal);
+
+    std::printf("serve: %s\n", spec.describe().c_str());
+    const sweep::SweepSummary summary =
+        sweep::run_service(ctx, spec, opts, svc);
+
+    std::printf("\n%s\n", sweep::accuracy_vs_size_table(summary).c_str());
+    std::printf("cells: %lld total, %lld executed, %lld resumed, %lld pending\n",
+                static_cast<long long>(summary.cells_total),
+                static_cast<long long>(summary.cells_executed),
+                static_cast<long long>(summary.cells_resumed),
+                static_cast<long long>(summary.cells_pending));
+    std::printf("service: %lld host join(s), %lld duplicate ack(s) deduped, "
+                "%lld cell retr%s\n",
+                static_cast<long long>(summary.hosts_joined),
+                static_cast<long long>(summary.duplicate_acks),
+                static_cast<long long>(summary.cell_retries),
+                summary.cell_retries == 1 ? "y" : "ies");
+    if (opts.cell_budget_ms > 0.0)
+        std::printf("cells over %.0f ms budget: %lld\n", opts.cell_budget_ms,
+                    static_cast<long long>(summary.cells_over_budget));
+    if (summary.cells_failed > 0) {
+        std::printf("quarantined cells: %lld\n",
+                    static_cast<long long>(summary.cells_failed));
+        for (const std::string& id : summary.failed_cells)
+            std::printf("  failed: %s\n", id.c_str());
+    }
+    if (summary.manifest_lines_skipped > 0)
+        std::printf("corrupt manifest lines skipped: %lld\n",
+                    static_cast<long long>(summary.manifest_lines_skipped));
+    std::printf("aggregate CSV: %s\nmanifest:      %s\n",
+                summary.csv_path.c_str(), summary.manifest_path.c_str());
+
+    const std::string metrics_out = flags.get_string("metrics-out", "");
+    if (!metrics_out.empty()) {
+        if (summary.metrics_json.empty()) {
+            util::log_warn("--metrics-out=" + metrics_out +
+                           " requested but telemetry is compiled out "
+                           "(XS_TELEMETRY=OFF); nothing written");
+        } else {
+            std::FILE* f = std::fopen(metrics_out.c_str(), "wb");
+            if (f == nullptr ||
+                std::fwrite(summary.metrics_json.data(), 1,
+                            summary.metrics_json.size(),
+                            f) != summary.metrics_json.size()) {
+                util::log_error("failed to write --metrics-out=" + metrics_out);
+                if (f) std::fclose(f);
+                return 1;
+            }
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("metrics:       %s\n", metrics_out.c_str());
+        }
+    }
+
+    if (summary.cells_pending > 0)
+        std::printf("(incomplete — rerun with --resume to finish)\n");
+    return 0;
+}

@@ -180,9 +180,14 @@ ManifestLoad load_manifest_file(const std::string& path) {
     while (std::getline(in, line)) {
         if (line.empty()) continue;
         // Telemetry summary record (nested JSON, so the exactly-one-brace
-        // cell decoder would misread it as torn): informational only, skip
-        // without counting it corrupt.
-        if (line.compare(0, 12, "{\"metrics\":{") == 0) continue;
+        // cell decoder would misread it as torn). Keep the inner snapshot,
+        // last-wins: each run's record already folds in its predecessor's
+        // totals, so the newest one is the whole history.
+        if (line.compare(0, 12, "{\"metrics\":{") == 0) {
+            if (line.back() == '}')
+                load.metrics_json = line.substr(11, line.size() - 12);
+            continue;
+        }
         const auto cfg = line.find("\"sweep_config\":\"");
         if (cfg != std::string::npos) {
             const auto start = cfg + std::strlen("\"sweep_config\":\"");

@@ -65,6 +65,10 @@ bool decode_manifest_line(const std::string& line, std::string& cell_id,
 struct ManifestLoad {
     std::map<std::string, CellResult> results;  // later duplicates win
     std::string config;                // fingerprint line, "" when absent
+    // Inner JSON of the last {"metrics":…} record (last-wins, like results:
+    // a resumed run appends a fresh record and the newest one carries the
+    // accumulated totals forward). "" when the manifest has none.
+    std::string metrics_json;
     std::int64_t skipped_lines = 0;    // corrupt/torn lines ignored
 };
 

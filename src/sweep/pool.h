@@ -1,0 +1,80 @@
+// Forked sweep-worker pool shared by the single-host supervisor
+// (sweep/supervisor.h) and the multi-host agent (sweep/service.h run_agent)
+// — DESIGN.md §9/§11.
+//
+// Each slot holds one `<binary> --worker --wire-in=<fd> --wire-out=<fd>`
+// child process wired to fresh deal/ack pipes: fork+exec (fork alone is
+// unsafe under the process thread pool), parent-held pipe ends CLOEXEC so
+// later-spawned siblings don't mask each other's EOF-on-death, ack side
+// nonblocking and poll-driven through a wire::MessageReader. Respawns are
+// budgeted pool-wide: past the budget a dead slot retires and the pool
+// shrinks gracefully instead of flapping on a persistent fault.
+#pragma once
+
+#include "sweep/wire.h"
+#include "util/metrics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace xs::sweep {
+
+struct PoolWorker {
+    pid_t pid = -1;
+    int deal_fd = -1;  // parent → worker (blocking writes)
+    int ack_fd = -1;   // worker → parent (nonblocking, poll-driven)
+    wire::MessageReader reader;
+    bool alive = false;
+    bool ready = false;       // said hello / finished its last cell
+    std::int64_t dealt = -1;  // opaque work token in flight here, -1 = idle
+    double deadline = 0.0;    // caller-armed watchdog; 0 = none
+};
+
+class WorkerPool {
+public:
+    // `cmd` is the worker argv prefix (binary + every experiment/spec
+    // flag); the pool appends --worker --wire-in/--wire-out per spawn.
+    WorkerPool(std::vector<std::string> cmd, std::int64_t restart_budget);
+    ~WorkerPool();
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    // Fill the pool with n workers. Returns false on the first spawn
+    // failure (earlier spawns stay alive).
+    bool spawn(std::size_t n);
+
+    std::size_t size() const { return workers_.size(); }
+    PoolWorker& operator[](std::size_t i) { return workers_[i]; }
+    const PoolWorker& operator[](std::size_t i) const { return workers_[i]; }
+    std::size_t alive_count() const;
+    std::size_t busy_count() const;
+
+    // Reap worker i (blocking waitpid), close its pipes, and respawn into
+    // the slot while the restart budget lasts. Returns a description of how
+    // the child exited; `respawned` reports whether the slot refilled (false
+    // = retired). SIGKILL the pid first to turn a hang into a reapable exit.
+    std::string reap_and_respawn(std::size_t i, bool& respawned);
+    void kill(std::size_t i);
+
+    std::int64_t restarts() const { return restarts_; }
+    std::int64_t restarts_left() const { return restarts_left_; }
+
+    // Orderly shutdown: send kShutdown to every live worker, collect each
+    // one's parting kMetrics frame into `merged` (when telemetry is
+    // compiled in; pass nullptr to skip), then reap — escalating to SIGKILL
+    // past `grace_ms`. Leaves the pool empty of live workers.
+    void shutdown(double grace_ms, util::metrics::Snapshot* merged);
+
+private:
+    bool spawn_slot(PoolWorker& w);
+
+    std::vector<std::string> cmd_;
+    std::vector<PoolWorker> workers_;
+    std::int64_t restarts_left_;
+    std::int64_t restarts_ = 0;
+};
+
+}  // namespace xs::sweep

@@ -145,7 +145,20 @@ std::map<std::string, CellResult> load_resume_state(
                       load.config + " vs " + config_fp +
                       "); rerun without --resume or delete it");
     had_config = !load.config.empty();
+    summary.metrics_json = load.metrics_json;
     return std::move(load.results);
+}
+
+void merge_prior_metrics(const std::string& prior_json,
+                         util::metrics::Snapshot& snap) {
+    if (prior_json.empty()) return;
+    util::metrics::Snapshot prior;
+    if (util::metrics::from_json(prior_json, prior))
+        util::metrics::merge(snap, prior);
+    else
+        util::log_warn(
+            "sweep: resumed manifest carries an unparsable metrics record; "
+            "telemetry totals restart from this run");
 }
 
 void aggregate_and_write_csv(const std::vector<SweepCell>& cells,
@@ -249,10 +262,17 @@ SweepSummary SweepRunner::run() {
     if (opts_.resume)
         results = load_resume_state(summary.manifest_path, config_fp, summary,
                                     had_config);
+    const std::string prior_metrics = summary.metrics_json;
     ManifestWriter manifest(summary.manifest_path, opts_.resume);
     tensor::check(manifest.ok(), "sweep: cannot open manifest '" +
                                      summary.manifest_path + "' for writing");
     if (!had_config) manifest.record_config(config_fp);
+
+    // Quarantined cells carried in from the resumed manifest, for the
+    // progress heartbeat (the in-process runner never quarantines itself).
+    std::int64_t failed_seen = 0;
+    for (const auto& kv : results)
+        if (kv.second.failed()) ++failed_seen;
 
     // Pending cells in expansion order (resume skips recorded ones — both
     // finished and quarantined; delete the manifest to retry a quarantine).
@@ -311,7 +331,8 @@ SweepSummary SweepRunner::run() {
             static_cast<std::int64_t>(pending.size()) - done;
         util::log_info(
             "progress: " + std::to_string(done) + "/" +
-            std::to_string(pending.size()) + " cells, " +
+            std::to_string(pending.size()) + " cells (" +
+            std::to_string(failed_seen) + " failed), " +
             util::fmt(rate, 2) + " cells/s, eta " +
             (rate > 0.0
                  ? util::fmt(static_cast<double>(remaining) / rate, 0) + " s"
@@ -369,9 +390,12 @@ SweepSummary SweepRunner::run() {
     aggregate_and_write_csv(cells, spec_, results, summary);
 #if XS_TELEMETRY_ENABLED
     // Snapshot after aggregation so the aggregate phase timing is included;
-    // the manifest copy is an uncounted informational record (resume skips
-    // it without warning).
-    summary.metrics_json = util::metrics::to_json(util::metrics::snapshot());
+    // a resumed run folds the prior record's totals in first, so the
+    // manifest's newest metrics record covers the whole sweep. The manifest
+    // copy is an uncounted informational record.
+    util::metrics::Snapshot final_snap = util::metrics::snapshot();
+    merge_prior_metrics(prior_metrics, final_snap);
+    summary.metrics_json = util::metrics::to_json(final_snap);
     manifest.record_metrics(summary.metrics_json);
 #endif
     return summary;

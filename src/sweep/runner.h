@@ -18,6 +18,7 @@
 #include "core/experiments.h"
 #include "sweep/manifest.h"
 #include "sweep/spec.h"
+#include "util/metrics.h"
 
 #include <cstdint>
 #include <map>
@@ -86,6 +87,9 @@ struct SweepSummary {
     std::int64_t watchdog_kills = 0;
     std::int64_t cell_retries = 0;  // supervisor re-deals after crash/hang/fail
     std::int64_t manifest_lines_skipped = 0;  // corrupt lines ignored on resume
+    // Multi-host service accounting (sweep/service.h; zero elsewhere).
+    std::int64_t hosts_joined = 0;    // successful kJoin handshakes, cumulative
+    std::int64_t duplicate_acks = 0;  // acks deduped against recorded results
     // Merged telemetry snapshot (util/metrics.h JSON schema): this process
     // plus — under the supervisor — every worker's kMetrics frame. Also
     // appended to the manifest as an uncounted {"metrics": ...} record.
@@ -118,11 +122,20 @@ std::string sweep_config_fingerprint(const core::ExperimentContext& ctx,
 
 // Resume support: load the manifest, warn (loudly, with a count) about
 // corrupt lines, and refuse a fingerprint mismatch. Returns recorded
-// results (ok and failed); `summary` gets manifest_lines_skipped.
+// results (ok and failed); `summary` gets manifest_lines_skipped and — so
+// telemetry totals accumulate across resumes instead of resetting — the
+// prior run's metrics record into metrics_json (see merge_prior_metrics).
 // `had_config` reports whether the manifest already carries a fingerprint.
 std::map<std::string, CellResult> load_resume_state(
     const std::string& manifest_path, const std::string& config_fp,
     SweepSummary& summary, bool& had_config);
+
+// Fold a resumed manifest's prior {"metrics":…} record (inner JSON; "" is a
+// no-op) into `snap`, so the record appended at the end of this run carries
+// the whole sweep's totals — every execution engine calls this before
+// ManifestWriter::record_metrics.
+void merge_prior_metrics(const std::string& prior_json,
+                         util::metrics::Snapshot& snap);
 
 // Aggregate `results` over the grid into summary.rows (expansion order) and
 // write the aggregate CSV (complete groups only, fixed formatting). Failed

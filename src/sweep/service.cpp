@@ -1,0 +1,927 @@
+#include "sweep/service.h"
+
+#include "sweep/lease.h"
+#include "sweep/net.h"
+#include "sweep/pool.h"
+#include "sweep/wire.h"
+#include "tensor/tensor.h"
+#include "util/csv.h"
+#include "util/faultinject.h"
+#include "util/log.h"
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace xs::sweep {
+
+namespace {
+
+double now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::atomic<bool> g_drain{false};
+
+// One connected agent host, joined or not. The host id is the lease owner
+// token; a reconnecting agent gets a fresh id, so acks and fails from its
+// previous incarnation can never be mistaken for the current lease holder.
+struct Host {
+    std::int64_t id = -1;
+    int fd = -1;
+    wire::MessageReader reader;
+    bool joined = false;
+    std::int64_t capacity = 0;
+    // Scheduler positions dealt here and not yet acked/failed back by this
+    // host. A lease that expires and is re-dealt elsewhere stays in this
+    // list — the slow host's worker is still genuinely busy on it.
+    std::vector<std::size_t> leased;
+    double last_heard = 0.0;
+    std::int64_t cells_done = 0;
+
+    std::string name() const { return "host" + std::to_string(id); }
+};
+
+// The join handshake must prove the agent expands the *exact same grid*,
+// not just the same experiment config: sweep_config_fingerprint covers the
+// inputs that change a cell's result (it gates manifest resume, where a
+// grown grid is legal), but an agent running --sizes=32 against a
+// --sizes=16 service shares that fingerprint while producing cells this
+// sweep never dealt — which must never blend into the manifest. So the
+// wire fingerprint appends an order-sensitive FNV-1a hash over every
+// expanded cell id plus the cell count.
+std::string join_fingerprint(const std::string& config_fp,
+                             const std::vector<SweepCell>& cells) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const SweepCell& c : cells) {
+        for (const char ch : c.id())
+            h = (h ^ static_cast<unsigned char>(ch)) * 1099511628211ull;
+        h = (h ^ 0xffu) * 1099511628211ull;  // id separator
+    }
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i, h >>= 4) hex[i] = "0123456789abcdef"[h & 15];
+    return config_fp + "/grid-" + std::to_string(cells.size()) + "-" + hex;
+}
+
+}  // namespace
+
+void request_drain() { g_drain.store(true, std::memory_order_relaxed); }
+bool drain_requested() { return g_drain.load(std::memory_order_relaxed); }
+
+SweepSummary run_service(core::ExperimentContext& ctx, const SweepSpec& spec,
+                         const SweepOptions& opts, const ServiceOptions& svc) {
+    const std::vector<SweepCell> cells = spec.expand();
+    SweepSummary summary;
+    summary.cells_total = static_cast<std::int64_t>(cells.size());
+    summary.manifest_path = ctx.csv_path(opts.manifest_name);
+    summary.csv_path = ctx.csv_path(opts.csv_name);
+
+    const std::string config_fp = sweep_config_fingerprint(ctx, spec);
+    const std::string join_fp = join_fingerprint(config_fp, cells);
+    std::map<std::string, CellResult> results;
+    bool had_config = false;
+    if (opts.resume)
+        results = load_resume_state(summary.manifest_path, config_fp, summary,
+                                    had_config);
+    const std::string prior_metrics = summary.metrics_json;
+    ManifestWriter manifest(summary.manifest_path, opts.resume);
+    tensor::check(manifest.ok(), "service: cannot open manifest '" +
+                                     summary.manifest_path + "' for writing");
+    if (!had_config) manifest.record_config(config_fp);
+
+    std::vector<std::size_t> undone;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if (results.find(cells[i].id()) == results.end()) undone.push_back(i);
+    summary.cells_resumed =
+        summary.cells_total - static_cast<std::int64_t>(undone.size());
+    if (opts.max_cells >= 0 &&
+        undone.size() > static_cast<std::size_t>(opts.max_cells))
+        undone.resize(static_cast<std::size_t>(opts.max_cells));
+    summary.cells_pending = summary.cells_total - summary.cells_resumed -
+                            static_cast<std::int64_t>(undone.size());
+
+    LeaseScheduler sched(svc.max_cell_retries, svc.retry_backoff_ms);
+    std::map<std::string, std::size_t> id_to_sched;
+    std::map<std::size_t, std::size_t> cell_to_sched;
+    for (const std::size_t i : undone) {
+        id_to_sched[cells[i].id()] = sched.size();
+        cell_to_sched[i] = sched.size();
+        sched.add(i);
+    }
+
+    util::metrics::Snapshot host_metrics;  // kMetrics frames, all hosts
+
+    if (sched.size() == 0) {
+        tensor::check(manifest.ok(), "service: manifest writes to '" +
+                                         summary.manifest_path + "' failed");
+        aggregate_and_write_csv(cells, spec, results, summary);
+#if XS_TELEMETRY_ENABLED
+        util::metrics::Snapshot final_snap = util::metrics::snapshot();
+        merge_prior_metrics(prior_metrics, final_snap);
+        summary.metrics_json = util::metrics::to_json(final_snap);
+        manifest.record_metrics(summary.metrics_json);
+#endif
+        return summary;
+    }
+
+    // A host dying mid-send surfaces as EPIPE on our write, not a signal.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::string net_err;
+    const int listen_fd = svc.listen_fd >= 0
+                              ? svc.listen_fd
+                              : net::listen_on(svc.port, &net_err);
+    tensor::check(listen_fd >= 0, "service: cannot listen: " + net_err);
+    util::log_info("service: listening on port " +
+                   std::to_string(net::bound_port(listen_fd)) + " with " +
+                   std::to_string(sched.size()) + " cell(s) to deal");
+
+    std::vector<std::unique_ptr<Host>> hosts;
+    std::int64_t next_host_id = 0;
+    std::int64_t quarantined = 0;
+    const double lease_ms = opts.cell_budget_ms;
+
+    const auto attempt_failed = [&](std::size_t p, const std::string& reason) {
+        const SweepCell& cell = cells[sched.at(p).cell_index];
+        const std::int64_t attempts = sched.attempts_of(p);
+        if (sched.fail(p, now_ms()) == LeaseScheduler::FailOutcome::kRetry) {
+            const double backoff =
+                svc.retry_backoff_ms *
+                std::pow(2.0, static_cast<double>(attempts - 1));
+            ++summary.cell_retries;
+            XS_COUNT("sweep.cells.retried", 1);
+            util::log_warn("service: cell " + cell.id() + " attempt " +
+                           std::to_string(attempts) + " failed (" + reason +
+                           "); re-dealing in " + util::fmt(backoff, 0) +
+                           " ms");
+        } else {
+            CellResult fr;
+            fr.status = "failed";
+            fr.reason = reason;
+            fr.attempts = attempts;
+            fr.backend = xbar::backend_name(cell.backend);
+            manifest.record(cell.id(), fr);
+            results[cell.id()] = fr;
+            ++quarantined;
+            util::log_warn("service: quarantined cell " + cell.id() +
+                           " after " + std::to_string(attempts) +
+                           " attempt(s): " + reason);
+        }
+    };
+
+    // Declare a host dead: every lease it still owns fails (re-deal with
+    // backoff elsewhere); leases it was slow on (owner already moved) just
+    // vanish with it. The fd closes; a reconnecting agent is a new host.
+    const auto host_dead = [&](Host& h, const std::string& why) {
+        util::log_warn("service: " + h.name() + " " + why +
+                       (h.leased.empty()
+                            ? ""
+                            : " with " + std::to_string(h.leased.size()) +
+                                  " lease(s)"));
+        for (const std::size_t p : h.leased)
+            if (sched.at(p).in_flight && sched.at(p).owner == h.id)
+                attempt_failed(p, h.name() + " " + why);
+        h.leased.clear();
+        ::close(h.fd);
+        h.fd = -1;
+    };
+
+    const auto purge_dead = [&]() {
+        hosts.erase(std::remove_if(hosts.begin(), hosts.end(),
+                                   [](const std::unique_ptr<Host>& h) {
+                                       return h->fd < 0;
+                                   }),
+                    hosts.end());
+    };
+
+    std::vector<pollfd> fds;
+    std::vector<Host*> fd_host;
+    const util::Stopwatch run_clock;
+    double next_beat = opts.progress_sec;
+    double next_hb = now_ms() + svc.heartbeat_ms;
+    while (!sched.all_done()) {
+        const bool draining = svc.drain || drain_requested();
+        if (draining && sched.in_flight_count() == 0) break;
+        const double now = now_ms();
+
+        // Deal: fill each joined host to its capacity, lowest-index
+        // eligible cell first. Draining deals nothing — in-flight leases
+        // run out (ack or expiry) and the loop exits above.
+        if (!draining) {
+            for (auto& hp : hosts) {
+                Host& h = *hp;
+                if (h.fd < 0 || !h.joined) continue;
+                while (static_cast<std::int64_t>(h.leased.size()) <
+                       h.capacity) {
+                    const std::int64_t p = sched.next_eligible(now);
+                    if (p < 0) break;
+                    const std::size_t pi = static_cast<std::size_t>(p);
+                    const std::size_t ci = sched.at(pi).cell_index;
+                    sched.deal(pi, now, lease_ms, h.id);
+                    const std::string payload =
+                        wire::encode_deal(static_cast<std::int64_t>(ci),
+                                          sched.attempts_of(pi) - 1);
+                    if (!net::send_frame(h.fd, wire::MsgType::kDeal,
+                                         payload)) {
+                        sched.undeal(pi);  // never reached the host
+                        host_dead(h, "rejected a deal (send failed)");
+                        break;
+                    }
+                    h.leased.push_back(pi);
+                    XS_DLOG("service: dealt cell " + cells[ci].id() + " to " +
+                            h.name());
+                }
+            }
+            purge_dead();
+        }
+
+        // Poll: the listener plus every host connection. Timeout is the
+        // nearest lease/backoff event, our next beacon, or the progress
+        // beat — capped so heartbeat-miss checks keep running.
+        double timeout = sched.next_event_ms(now, 250.0);
+        timeout = std::min(timeout, next_hb - now);
+        if (opts.progress_sec > 0.0)
+            timeout = std::min(timeout,
+                               (next_beat - run_clock.seconds()) * 1000.0);
+        timeout = std::max(timeout, 0.0);
+
+        fds.clear();
+        fd_host.clear();
+        fds.push_back({listen_fd, POLLIN, 0});
+        fd_host.push_back(nullptr);
+        for (auto& hp : hosts) {
+            fds.push_back({hp->fd, POLLIN, 0});
+            fd_host.push_back(hp.get());
+        }
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(std::ceil(timeout)));
+
+        if (fds[0].revents != 0) {
+            for (;;) {
+                const int cfd = net::accept_conn(listen_fd);
+                if (cfd < 0) break;
+                auto h = std::make_unique<Host>();
+                h->id = next_host_id++;
+                h->fd = cfd;
+                h->reader.reset(cfd);
+                h->last_heard = now_ms();
+                util::log_info("service: " + h->name() + " connected");
+                hosts.push_back(std::move(h));
+            }
+        }
+
+        for (std::size_t fi = 1; fi < fds.size(); ++fi) {
+            if (fds[fi].revents == 0) continue;
+            Host& h = *fd_host[fi];
+            h.last_heard = now_ms();
+            h.reader.fill();
+            wire::Message msg;
+            while (h.fd >= 0 && h.reader.pop(msg)) {
+                switch (msg.type) {
+                    case wire::MsgType::kJoin: {
+                        std::string fp;
+                        std::int64_t capacity = 0;
+                        if (!net::decode_join(msg.payload, fp, capacity)) {
+                            net::send_frame(h.fd, wire::MsgType::kFail,
+                                            "join rejected: malformed join");
+                            host_dead(h, "sent a malformed join");
+                            break;
+                        }
+                        if (fp != join_fp) {
+                            util::log_error(
+                                "service: " + h.name() +
+                                " joined with a mismatched fingerprint "
+                                "(service: " + join_fp + ", agent: " + fp +
+                                "); rejecting — the agent is running a "
+                                "different grid, spec, or experiment config");
+                            net::send_frame(
+                                h.fd, wire::MsgType::kFail,
+                                "join rejected: fingerprint mismatch "
+                                "(service: " + join_fp + ")");
+                            host_dead(h, "fingerprint mismatch");
+                            break;
+                        }
+                        h.joined = true;
+                        h.capacity = capacity;
+                        ++summary.hosts_joined;
+                        if (!net::send_frame(
+                                h.fd, wire::MsgType::kJoin,
+                                net::encode_join_ok(svc.heartbeat_ms,
+                                                    lease_ms)))
+                            host_dead(h, "join reply failed");
+                        else
+                            util::log_info("service: " + h.name() +
+                                           " joined with capacity " +
+                                           std::to_string(capacity));
+                        break;
+                    }
+                    case wire::MsgType::kHeartbeat:
+                        break;  // last_heard already refreshed
+                    case wire::MsgType::kAck: {
+                        std::string id;
+                        CellResult r;
+                        if (!decode_manifest_line(msg.payload, id, r)) {
+                            host_dead(h, "sent an undecodable ack");
+                            break;
+                        }
+                        const auto sp = id_to_sched.find(id);
+                        if (sp != id_to_sched.end()) {
+                            h.leased.erase(std::remove(h.leased.begin(),
+                                                       h.leased.end(),
+                                                       sp->second),
+                                           h.leased.end());
+                        }
+                        if (results.find(id) != results.end()) {
+                            // The cell was already durably recorded — a
+                            // slow host finishing after its lease was
+                            // re-dealt, or an agent replaying its outbox
+                            // after a reconnect. First append won; drop it.
+                            ++summary.duplicate_acks;
+                            XS_COUNT("sweep.service.duplicate_acks", 1);
+                            util::log_info("service: duplicate ack for " +
+                                           id + " from " + h.name() +
+                                           " deduped");
+                            break;
+                        }
+                        if (sp == id_to_sched.end()) {
+                            // Belt-and-braces behind the join fingerprint:
+                            // an id that is neither recorded nor scheduled
+                            // is not a cell of this sweep, and recording it
+                            // would poison the manifest for resume.
+                            host_dead(h, "acked a cell outside this sweep "
+                                         "(" + id + ")");
+                            break;
+                        }
+                        manifest.record(id, r);  // durable before counted
+                        results[id] = r;
+                        XS_COUNT("sweep.cells.done", 1);
+                        if (sp != id_to_sched.end()) sched.ack(sp->second);
+                        ++summary.cells_executed;
+                        ++h.cells_done;
+                        if (opts.cell_budget_ms > 0.0 &&
+                            r.wall_ms > opts.cell_budget_ms) {
+                            ++summary.cells_over_budget;
+                            util::log_warn(
+                                "sweep cell " + id + " over budget: " +
+                                util::fmt(r.wall_ms, 0) + " ms > " +
+                                util::fmt(opts.cell_budget_ms, 0) + " ms");
+                        }
+                        util::log_info(
+                            "sweep cell " +
+                            std::to_string(sched.done_count()) + "/" +
+                            std::to_string(sched.size()) + " " + id +
+                            ": acc " + util::fmt(r.accuracy) + "% (" +
+                            util::fmt(r.wall_ms, 0) + " ms, " + h.name() +
+                            ", attempt " + std::to_string(r.attempts) + ")");
+                        break;
+                    }
+                    case wire::MsgType::kFail: {
+                        std::int64_t ci = -1;
+                        std::string reason;
+                        if (!net::decode_fail(msg.payload, ci, reason)) {
+                            host_dead(h, "sent an undecodable fail");
+                            break;
+                        }
+                        const auto cp =
+                            cell_to_sched.find(static_cast<std::size_t>(ci));
+                        if (cp == cell_to_sched.end()) break;
+                        h.leased.erase(std::remove(h.leased.begin(),
+                                                   h.leased.end(),
+                                                   cp->second),
+                                       h.leased.end());
+                        // Owner check: a fail from a host whose lease
+                        // already expired (the cell moved on) is stale —
+                        // its worker slot freed up, nothing else.
+                        if (sched.at(cp->second).in_flight &&
+                            sched.at(cp->second).owner == h.id)
+                            attempt_failed(cp->second, reason);
+                        break;
+                    }
+                    case wire::MsgType::kMetrics: {
+                        util::metrics::Snapshot snap;
+                        if (util::metrics::from_json(msg.payload, snap))
+                            util::metrics::merge(host_metrics, snap);
+                        else
+                            util::log_warn(
+                                "service: discarding an unparsable metrics "
+                                "frame from " + h.name());
+                        break;
+                    }
+                    default:
+                        host_dead(h, "sent unexpected message type " +
+                                         std::to_string(static_cast<int>(
+                                             msg.type)));
+                }
+            }
+            if (h.fd >= 0 && h.reader.finished())
+                host_dead(h, "disconnected");
+        }
+        purge_dead();
+
+        // Lease expiry: take the cell back and re-deal elsewhere, but keep
+        // the slow host's connection — its late ack, if it ever lands, is
+        // deduped above. Determinism is untouched either way.
+        for (const std::size_t p : sched.expired(now_ms())) {
+            const std::int64_t owner = sched.at(p).owner;
+            std::string owner_name = "host" + std::to_string(owner);
+            attempt_failed(p, "lease expired on " + owner_name);
+        }
+
+        // Beacons out, silence check in. Any frame refreshes last_heard, so
+        // a busy host never needs explicit heartbeats to stay alive.
+        const double tnow = now_ms();
+        if (tnow >= next_hb) {
+            next_hb = tnow + svc.heartbeat_ms;
+            for (auto& hp : hosts)
+                if (hp->fd >= 0 && hp->joined &&
+                    !net::send_frame(hp->fd, wire::MsgType::kHeartbeat, ""))
+                    host_dead(*hp, "heartbeat send failed");
+        }
+        for (auto& hp : hosts)
+            if (hp->fd >= 0 &&
+                tnow - hp->last_heard >
+                    svc.heartbeat_ms *
+                        static_cast<double>(svc.heartbeat_misses))
+                host_dead(*hp,
+                          "missed " + std::to_string(svc.heartbeat_misses) +
+                              " heartbeats");
+        purge_dead();
+
+        if (opts.progress_sec > 0.0 && run_clock.seconds() >= next_beat) {
+            next_beat = run_clock.seconds() + opts.progress_sec;
+            const double elapsed = run_clock.seconds();
+            const double done = static_cast<double>(sched.done_count());
+            const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+            const double left =
+                static_cast<double>(sched.size() - sched.done_count());
+            std::string host_line;
+            for (const auto& hp : hosts) {
+                if (!hp->joined) continue;
+                host_line += " " + hp->name() + ": " +
+                             std::to_string(hp->leased.size()) + " busy/" +
+                             std::to_string(hp->cells_done) + " done";
+            }
+            util::log_info(
+                "progress: " + std::to_string(sched.done_count()) + "/" +
+                std::to_string(sched.size()) + " cells (" +
+                std::to_string(quarantined) + " failed, " +
+                std::to_string(summary.cell_retries) + " retries, " +
+                std::to_string(summary.duplicate_acks) + " dup acks), " +
+                util::fmt(rate, 2) + " cells/s, eta " +
+                (rate > 0.0 ? util::fmt(left / rate, 0) + " s" : "?") +
+                "; hosts: " + std::to_string(hosts.size()) + " connected" +
+                (host_line.empty() ? "" : " —" + host_line));
+        }
+    }
+
+    // Orderly shutdown: every connected host gets kShutdown, drains its
+    // local pool (its own 5 s grace), and answers with one kMetrics frame.
+    // Our grace covers theirs; a host that dies instead contributes nothing.
+    for (auto& hp : hosts)
+        if (hp->fd >= 0 &&
+            !net::send_frame(hp->fd, wire::MsgType::kShutdown, "")) {
+            ::close(hp->fd);
+            hp->fd = -1;
+        }
+    purge_dead();
+    const double grace_deadline = now_ms() + 10000.0;
+    while (!hosts.empty() && now_ms() < grace_deadline) {
+        fds.clear();
+        fd_host.clear();
+        for (auto& hp : hosts) {
+            fds.push_back({hp->fd, POLLIN, 0});
+            fd_host.push_back(hp.get());
+        }
+        const double left = grace_deadline - now_ms();
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(std::ceil(std::max(left, 0.0))));
+        for (std::size_t fi = 0; fi < fds.size(); ++fi) {
+            if (fds[fi].revents == 0) continue;
+            Host& h = *fd_host[fi];
+            h.reader.fill();
+            wire::Message msg;
+            while (h.reader.pop(msg)) {
+                if (msg.type == wire::MsgType::kAck) {
+                    // A delayed ack can land during the shutdown grace (the
+                    // sweep finished off a re-deal while the slow host was
+                    // still computing). Same rule as the main loop: first
+                    // durable append won, later copies are counted and
+                    // dropped — never ignored, or the dedup accounting
+                    // would depend on timing.
+                    std::string id;
+                    CellResult r;
+                    if (decode_manifest_line(msg.payload, id, r)) {
+                        if (results.find(id) != results.end()) {
+                            ++summary.duplicate_acks;
+                            XS_COUNT("sweep.service.duplicate_acks", 1);
+                            util::log_info("service: duplicate ack for " +
+                                           id + " from " + h.name() +
+                                           " during shutdown deduped");
+                        } else if (id_to_sched.find(id) ==
+                                   id_to_sched.end()) {
+                            util::log_warn("service: dropping an ack for a "
+                                           "cell outside this sweep (" + id +
+                                           ") from " + h.name());
+                        } else {
+                            manifest.record(id, r);
+                            results[id] = r;
+                            ++summary.cells_executed;
+                            const auto sp = id_to_sched.find(id);
+                            if (sp != id_to_sched.end())
+                                sched.ack(sp->second);
+                        }
+                    }
+                    continue;
+                }
+                if (msg.type == wire::MsgType::kMetrics) {
+                    util::metrics::Snapshot snap;
+                    if (util::metrics::from_json(msg.payload, snap))
+                        util::metrics::merge(host_metrics, snap);
+                    ::close(h.fd);  // the metrics frame is the goodbye
+                    h.fd = -1;
+                    break;
+                }
+            }
+            if (h.fd >= 0 && h.reader.finished()) {
+                ::close(h.fd);
+                h.fd = -1;
+            }
+        }
+        purge_dead();
+    }
+    for (auto& hp : hosts)
+        if (hp->fd >= 0) ::close(hp->fd);
+    hosts.clear();
+    ::close(listen_fd);
+
+    // Drained early: undone cells stay pending (and resumable).
+    summary.cells_pending += static_cast<std::int64_t>(sched.size()) -
+                             static_cast<std::int64_t>(sched.done_count());
+
+    tensor::check(manifest.ok(), "service: manifest writes to '" +
+                                     summary.manifest_path +
+                                     "' failed; resume state is incomplete");
+    aggregate_and_write_csv(cells, spec, results, summary);
+#if XS_TELEMETRY_ENABLED
+    util::metrics::Snapshot final_snap = util::metrics::snapshot();
+    util::metrics::merge(final_snap, host_metrics);
+    merge_prior_metrics(prior_metrics, final_snap);
+    summary.metrics_json = util::metrics::to_json(final_snap);
+    manifest.record_metrics(summary.metrics_json);
+#endif
+    return summary;
+}
+
+int run_agent(core::ExperimentContext& ctx, const SweepSpec& spec,
+              const AgentOptions& opts) {
+    util::set_log_prefix("[agent " + std::to_string(::getpid()) + "] ");
+    tensor::check(!opts.worker_cmd.empty(),
+                  "agent: worker_cmd is empty (use worker_command_from_argv)");
+    tensor::check(opts.workers >= 1, "agent: need at least one worker");
+
+    const std::vector<SweepCell> cells = spec.expand();
+    const std::string join_fp =
+        join_fingerprint(sweep_config_fingerprint(ctx, spec), cells);
+
+    // Prepare every distinct model in the grid before forking workers: the
+    // agent doesn't know which cells it will be dealt, and workers resolve
+    // prepared specs from the on-disk model cache.
+    {
+        std::set<std::string> seen;
+        for (const SweepCell& c : cells) {
+            core::ModelSpec ms = ctx.spec(c.variant, c.num_classes,
+                                          c.prune.method, c.prune.sparsity,
+                                          c.mitigation.wct);
+            if (seen.insert(ms.key()).second) ctx.prepared(ms);
+        }
+    }
+
+    ::signal(SIGPIPE, SIG_IGN);
+    WorkerPool pool(opts.worker_cmd, opts.max_worker_restarts);
+    tensor::check(pool.spawn(static_cast<std::size_t>(opts.workers)),
+                  "agent: failed to spawn worker process");
+
+    std::deque<std::pair<std::int64_t, std::int64_t>> deals;  // cell, attempt
+    std::deque<std::pair<wire::MsgType, std::string>> outbox;
+    double heartbeat_ms = 1000.0, lease_ms = 0.0;
+    int fd = -1;
+    wire::MessageReader sock;
+    std::int64_t failures = 0;  // consecutive connect/join failures
+    double last_heard = 0.0, next_hb = 0.0;
+
+    // Forward a frame to the service now, or park it in the outbox until
+    // the next successful join — acks survive disconnects, and replaying
+    // them is safe because the service dedups against recorded results.
+    const auto disconnect = [&](const std::string& why) {
+        if (fd < 0) return;
+        util::log_warn("agent: connection lost (" + why + "); reconnecting");
+        ::close(fd);
+        fd = -1;
+        failures = 1;
+        deals.clear();  // undispatched deals re-deal service-side
+    };
+    const auto queue_send = [&](wire::MsgType type,
+                                const std::string& payload) {
+        if (fd >= 0 && net::send_frame(fd, type, payload)) return;
+        outbox.emplace_back(type, payload);
+        disconnect("send failed");
+    };
+
+    for (;;) {
+        if (fd < 0) {
+            // (Re)connect with capped exponential backoff, then the kJoin
+            // handshake. A kFail reply is fatal — a fingerprint mismatch
+            // cannot be fixed by retrying.
+            if (opts.max_reconnects >= 0 && failures > opts.max_reconnects) {
+                util::log_error("agent: giving up after " +
+                                std::to_string(failures - 1) +
+                                " reconnect attempt(s)");
+                pool.shutdown(5000.0, nullptr);
+                return 1;
+            }
+            if (failures > 0) {
+                const double backoff = std::min(
+                    opts.reconnect_backoff_ms *
+                        std::pow(2.0, static_cast<double>(failures - 1)),
+                    opts.reconnect_backoff_cap_ms);
+                ::usleep(static_cast<useconds_t>(backoff * 1000.0));
+            }
+            std::string err;
+            fd = net::connect_to(opts.host, opts.port, &err);
+            if (fd < 0) {
+                util::log_warn("agent: " + err);
+                ++failures;
+                continue;
+            }
+            sock.reset(fd);
+            if (!net::send_frame(
+                    fd, wire::MsgType::kJoin,
+                    net::encode_join(join_fp,
+                                     static_cast<std::int64_t>(pool.size())))) {
+                disconnect("join send failed");
+                continue;
+            }
+            // Wait for the join reply (bounded; a silent service means it
+            // died between accept and reply — retry).
+            bool ok = false, fatal = false;
+            const double join_deadline = now_ms() + 10000.0;
+            while (!ok && !fatal) {
+                wire::Message msg;
+                if (sock.pop(msg)) {
+                    if (msg.type == wire::MsgType::kJoin &&
+                        net::decode_join_ok(msg.payload, heartbeat_ms,
+                                            lease_ms)) {
+                        ok = true;
+                    } else if (msg.type == wire::MsgType::kFail) {
+                        util::log_error("agent: " + msg.payload);
+                        fatal = true;
+                    } else {
+                        util::log_error("agent: unexpected join reply type " +
+                                        std::to_string(
+                                            static_cast<int>(msg.type)));
+                        fatal = true;
+                    }
+                    continue;
+                }
+                const double left = join_deadline - now_ms();
+                if (sock.finished() || left <= 0.0) break;
+                pollfd pfd{fd, POLLIN, 0};
+                ::poll(&pfd, 1, static_cast<int>(std::ceil(left)));
+                sock.fill();
+            }
+            if (fatal) {
+                ::close(fd);
+                pool.shutdown(5000.0, nullptr);
+                return 1;
+            }
+            if (!ok) {
+                disconnect("no join reply");
+                continue;
+            }
+            failures = 0;
+            last_heard = now_ms();
+            next_hb = last_heard + heartbeat_ms;
+            util::log_info("agent: joined " + opts.host + ":" +
+                           std::to_string(opts.port) + " (heartbeat " +
+                           util::fmt(heartbeat_ms, 0) + " ms, lease " +
+                           util::fmt(lease_ms, 0) + " ms)");
+            while (!outbox.empty()) {
+                if (fd < 0 ||
+                    !net::send_frame(fd, outbox.front().first,
+                                     outbox.front().second)) {
+                    disconnect("outbox replay failed");
+                    break;
+                }
+                outbox.pop_front();
+            }
+            continue;
+        }
+
+        // An agent with no live workers can't execute anything: exit so the
+        // service's host-death path re-deals our leases immediately.
+        if (pool.alive_count() == 0) {
+            util::log_error(
+                "agent: all workers dead (restart budget exhausted)");
+            ::close(fd);
+            return 1;
+        }
+
+        // Dispatch queued deals to idle ready workers.
+        for (std::size_t wi = 0;
+             wi < pool.size() && !deals.empty(); ++wi) {
+            PoolWorker& w = pool[wi];
+            if (!w.alive || !w.ready || w.dealt >= 0) continue;
+            const auto [ci, attempt] = deals.front();
+            if (!wire::write_message(w.deal_fd, wire::MsgType::kDeal,
+                                     wire::encode_deal(ci, attempt))) {
+                pool.kill(wi);
+                bool respawned = false;
+                const std::string detail = pool.reap_and_respawn(wi,
+                                                                 respawned);
+                util::log_warn("agent: worker rejected a deal (" + detail +
+                               (respawned ? "); respawned" : "); retired"));
+                continue;
+            }
+            deals.pop_front();
+            w.dealt = ci;
+            w.ready = false;
+            // Local watchdog mirrors the service lease: a hung worker is
+            // killed here and failed back, instead of silently pinning a
+            // capacity slot until the service re-deals around us.
+            w.deadline = lease_ms > 0.0 ? now_ms() + lease_ms : 0.0;
+        }
+
+        const double now = now_ms();
+        double timeout = std::min(next_hb - now, 250.0);
+        for (std::size_t wi = 0; wi < pool.size(); ++wi) {
+            const PoolWorker& w = pool[wi];
+            if (w.alive && w.dealt >= 0 && w.deadline > 0.0)
+                timeout = std::min(timeout, w.deadline - now);
+        }
+        timeout = std::max(timeout, 0.0);
+
+        std::vector<pollfd> fds;
+        std::vector<std::int64_t> owner;  // -1 = socket, else worker index
+        fds.push_back({fd, POLLIN, 0});
+        owner.push_back(-1);
+        for (std::size_t wi = 0; wi < pool.size(); ++wi)
+            if (pool[wi].alive) {
+                fds.push_back({pool[wi].ack_fd, POLLIN, 0});
+                owner.push_back(static_cast<std::int64_t>(wi));
+            }
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(std::ceil(timeout)));
+
+        // Socket first: deals and shutdowns beat local bookkeeping.
+        if (fds[0].revents != 0) {
+            last_heard = now_ms();
+            sock.fill();
+            wire::Message msg;
+            bool shutdown = false;
+            while (fd >= 0 && sock.pop(msg)) {
+                switch (msg.type) {
+                    case wire::MsgType::kDeal: {
+                        std::int64_t ci = -1, attempt = 0;
+                        if (!wire::decode_deal(msg.payload, ci, attempt) ||
+                            ci < 0 ||
+                            ci >= static_cast<std::int64_t>(cells.size())) {
+                            util::log_error("agent: malformed deal '" +
+                                            msg.payload + "'");
+                            break;
+                        }
+                        // Fault seam: kill/hang the whole host here, mid
+                        // deal, on the configured attempt — the service's
+                        // host-death recovery is exercised by a real dead
+                        // process, not a mock.
+                        util::fault::execute(
+                            util::fault::at("agent-deal", ci, attempt),
+                            "agent-deal", ci);
+                        deals.emplace_back(ci, attempt);
+                        break;
+                    }
+                    case wire::MsgType::kHeartbeat:
+                        break;  // last_heard already refreshed
+                    case wire::MsgType::kShutdown:
+                        shutdown = true;
+                        break;
+                    default:
+                        util::log_warn(
+                            "agent: unexpected message type " +
+                            std::to_string(static_cast<int>(msg.type)));
+                }
+                if (shutdown) break;
+            }
+            if (shutdown) {
+#if XS_TELEMETRY_ENABLED
+                util::metrics::Snapshot merged = util::metrics::snapshot();
+                pool.shutdown(5000.0, &merged);
+                net::send_frame(fd, wire::MsgType::kMetrics,
+                                util::metrics::to_json(merged));
+#else
+                pool.shutdown(5000.0, nullptr);
+#endif
+                ::close(fd);
+                util::log_info("agent: shut down by the service");
+                return 0;
+            }
+            if (fd >= 0 && sock.finished()) disconnect("service closed");
+        }
+
+        // Silence check directly after the socket read, so a local stall (a
+        // long cell, scheduler starvation, a fault-injected delay) can
+        // never declare a healthy service dead while its frames sit unread
+        // in our buffer — whatever arrived during the stall just refreshed
+        // last_heard above.
+        if (fd >= 0 && now_ms() - last_heard > heartbeat_ms * 3.0)
+            disconnect("service silent for 3 heartbeats");
+
+        for (std::size_t fi = 1; fi < fds.size(); ++fi) {
+            if (fds[fi].revents == 0) continue;
+            const std::size_t wi = static_cast<std::size_t>(owner[fi]);
+            PoolWorker& w = pool[wi];
+            if (!w.alive) continue;
+            w.reader.fill();
+            wire::Message msg;
+            while (w.reader.pop(msg)) {
+                switch (msg.type) {
+                    case wire::MsgType::kHello:
+                        w.ready = true;
+                        break;
+                    case wire::MsgType::kAck:
+                        queue_send(wire::MsgType::kAck, msg.payload);
+                        w.dealt = -1;
+                        w.deadline = 0.0;
+                        w.ready = true;
+                        break;
+                    case wire::MsgType::kFail:
+                        if (w.dealt >= 0)
+                            queue_send(wire::MsgType::kFail,
+                                       net::encode_fail(w.dealt,
+                                                        msg.payload));
+                        w.dealt = -1;
+                        w.deadline = 0.0;
+                        w.ready = true;
+                        break;
+                    default:
+                        util::log_warn(
+                            "agent: unexpected worker message type " +
+                            std::to_string(static_cast<int>(msg.type)));
+                }
+            }
+            if (w.reader.finished()) {
+                const std::int64_t dealt = w.dealt;
+                bool respawned = false;
+                const std::string detail =
+                    pool.reap_and_respawn(wi, respawned);
+                util::log_warn("agent: worker " + detail +
+                               (respawned ? "; respawned" : "; retired"));
+                if (dealt >= 0)
+                    queue_send(wire::MsgType::kFail,
+                               net::encode_fail(dealt, "worker " + detail));
+            }
+        }
+
+        // Local watchdog: kill workers holding a cell past the lease.
+        const double t = now_ms();
+        for (std::size_t wi = 0; wi < pool.size(); ++wi) {
+            PoolWorker& w = pool[wi];
+            if (!w.alive || w.dealt < 0 || w.deadline <= 0.0 ||
+                t < w.deadline)
+                continue;
+            const std::int64_t dealt = w.dealt;
+            pool.kill(wi);
+            bool respawned = false;
+            const std::string detail = pool.reap_and_respawn(wi, respawned);
+            util::log_warn("agent: watchdog-killed worker on cell " +
+                           std::to_string(dealt) +
+                           (respawned ? "; respawned" : "; retired"));
+            queue_send(wire::MsgType::kFail,
+                       net::encode_fail(dealt, "watchdog-killed after " +
+                                                   util::fmt(lease_ms, 0) +
+                                                   " ms"));
+        }
+
+        if (fd >= 0 && t >= next_hb) {
+            next_hb = t + heartbeat_ms;
+            if (!net::send_frame(fd, wire::MsgType::kHeartbeat, ""))
+                disconnect("heartbeat send failed");
+        }
+    }
+}
+
+}  // namespace xs::sweep

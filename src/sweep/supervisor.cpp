@@ -1,5 +1,7 @@
 #include "sweep/supervisor.h"
 
+#include "sweep/lease.h"
+#include "sweep/pool.h"
 #include "sweep/wire.h"
 #include "tensor/tensor.h"
 #include "util/csv.h"
@@ -16,9 +18,7 @@
 #include <set>
 #include <string>
 
-#include <fcntl.h>
 #include <poll.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 namespace xs::sweep {
@@ -29,93 +29,6 @@ double now_ms() {
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
-}
-
-// One undone cell's supervision state.
-struct PendingCell {
-    std::size_t cell_index = 0;  // into the expanded grid
-    std::int64_t attempts = 0;   // deals so far (also indexes the backoff)
-    double eligible_at = 0.0;    // steady-clock ms; backoff gate
-    bool in_flight = false;
-    bool done = false;  // acknowledged ok or quarantined
-};
-
-struct Worker {
-    pid_t pid = -1;
-    int deal_fd = -1;  // coordinator → worker (blocking writes)
-    int ack_fd = -1;   // worker → coordinator (nonblocking, poll-driven)
-    wire::MessageReader reader;
-    bool alive = false;
-    bool ready = false;        // said hello / finished its last cell
-    std::int64_t dealt = -1;   // pending index in flight here, -1 = idle
-    double deadline = 0.0;     // watchdog: kill past this; 0 = no budget
-};
-
-void close_fd(int& fd) {
-    if (fd >= 0) ::close(fd);
-    fd = -1;
-}
-
-// Fork+exec one worker wired to fresh deal/ack pipes. The parent-held pipe
-// ends are CLOEXEC so later-spawned siblings don't inherit them — a worker
-// holding another worker's pipe would mask that worker's EOF-on-death.
-// Everything the child needs (argv buffers included) is built before fork:
-// between fork and exec only async-signal-safe calls run, which a forked
-// child of a threaded process is restricted to.
-bool spawn_worker(const std::vector<std::string>& cmd, Worker& w) {
-    int deal[2];  // [0] = child read, [1] = parent write
-    int ack[2];   // [0] = parent read, [1] = child write
-    if (::pipe(deal) != 0) return false;
-    if (::pipe(ack) != 0) {
-        ::close(deal[0]);
-        ::close(deal[1]);
-        return false;
-    }
-    ::fcntl(deal[1], F_SETFD, FD_CLOEXEC);
-    ::fcntl(ack[0], F_SETFD, FD_CLOEXEC);
-    ::fcntl(ack[0], F_SETFL, O_NONBLOCK);
-
-    std::vector<std::string> args = cmd;
-    args.push_back("--worker");
-    args.push_back("--wire-in=" + std::to_string(deal[0]));
-    args.push_back("--wire-out=" + std::to_string(ack[1]));
-    std::vector<char*> argv;
-    argv.reserve(args.size() + 1);
-    for (std::string& a : args) argv.push_back(a.data());
-    argv.push_back(nullptr);
-
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-        ::close(deal[0]);
-        ::close(deal[1]);
-        ::close(ack[0]);
-        ::close(ack[1]);
-        return false;
-    }
-    if (pid == 0) {
-        ::execv(argv[0], argv.data());
-        ::_exit(127);  // exec failed; the parent sees EOF + exit 127
-    }
-    ::close(deal[0]);
-    ::close(ack[1]);
-    w.pid = pid;
-    w.deal_fd = deal[1];
-    w.ack_fd = ack[0];
-    w.reader.reset(w.ack_fd);
-    w.alive = true;
-    w.ready = false;
-    w.dealt = -1;
-    w.deadline = 0.0;
-    return true;
-}
-
-std::string describe_exit(int wstatus) {
-    if (WIFSIGNALED(wstatus))
-        return std::string("killed by signal ") +
-               std::to_string(WTERMSIG(wstatus));
-    if (WIFEXITED(wstatus))
-        return "exited with status " + std::to_string(WEXITSTATUS(wstatus));
-    return "died (status " + std::to_string(wstatus) + ")";
 }
 
 }  // namespace
@@ -188,7 +101,7 @@ std::vector<std::string> worker_command_from_argv(int argc, char** argv) {
     const auto supervision_flag = [](const std::string& a) {
         return a == "--worker" || a.rfind("--worker=", 0) == 0 ||
                a.rfind("--workers", 0) == 0 || a.rfind("--wire-in", 0) == 0 ||
-               a.rfind("--wire-out", 0) == 0;
+               a.rfind("--wire-out", 0) == 0 || a.rfind("--agent", 0) == 0;
     };
     for (int i = 1; i < argc; ++i)
         if (!supervision_flag(argv[i])) cmd.push_back(argv[i]);
@@ -215,6 +128,7 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
     if (opts.resume)
         results = load_resume_state(summary.manifest_path, config_fp, summary,
                                     had_config);
+    const std::string prior_metrics = summary.metrics_json;
     ManifestWriter manifest(summary.manifest_path, opts.resume);
     tensor::check(manifest.ok(), "supervisor: cannot open manifest '" +
                                      summary.manifest_path + "' for writing");
@@ -222,29 +136,29 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
 
     // Undone cells in expansion order (resume skips recorded ones, failed
     // included), truncated by max_cells like the in-process runner.
-    std::vector<PendingCell> pending;
+    std::vector<std::size_t> undone;
     for (std::size_t i = 0; i < cells.size(); ++i)
-        if (results.find(cells[i].id()) == results.end()) {
-            PendingCell p;
-            p.cell_index = i;
-            pending.push_back(p);
-        }
+        if (results.find(cells[i].id()) == results.end()) undone.push_back(i);
     summary.cells_resumed =
-        summary.cells_total - static_cast<std::int64_t>(pending.size());
+        summary.cells_total - static_cast<std::int64_t>(undone.size());
     if (opts.max_cells >= 0 &&
-        pending.size() > static_cast<std::size_t>(opts.max_cells))
-        pending.resize(static_cast<std::size_t>(opts.max_cells));
+        undone.size() > static_cast<std::size_t>(opts.max_cells))
+        undone.resize(static_cast<std::size_t>(opts.max_cells));
     summary.cells_pending = summary.cells_total - summary.cells_resumed -
-                            static_cast<std::int64_t>(pending.size());
+                            static_cast<std::int64_t>(undone.size());
 
-    if (pending.empty()) {
+    LeaseScheduler sched(sup.max_cell_retries, sup.retry_backoff_ms);
+    for (const std::size_t i : undone) sched.add(i);
+
+    if (sched.size() == 0) {
         tensor::check(manifest.ok(),
                       "supervisor: manifest writes to '" +
                           summary.manifest_path + "' failed");
         aggregate_and_write_csv(cells, spec, results, summary);
 #if XS_TELEMETRY_ENABLED
-        summary.metrics_json =
-            util::metrics::to_json(util::metrics::snapshot());
+        util::metrics::Snapshot final_snap = util::metrics::snapshot();
+        merge_prior_metrics(prior_metrics, final_snap);
+        summary.metrics_json = util::metrics::to_json(final_snap);
         manifest.record_metrics(summary.metrics_json);
 #endif
         return summary;
@@ -255,8 +169,8 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
     // training a private copy.
     {
         std::set<std::string> seen;
-        for (const PendingCell& p : pending) {
-            const SweepCell& c = cells[p.cell_index];
+        for (const std::size_t i : undone) {
+            const SweepCell& c = cells[i];
             core::ModelSpec ms = ctx.spec(c.variant, c.num_classes,
                                           c.prune.method, c.prune.sparsity,
                                           c.mitigation.wct);
@@ -269,41 +183,38 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
 
     const std::size_t nworkers = static_cast<std::size_t>(
         std::min<std::int64_t>(sup.workers,
-                               static_cast<std::int64_t>(pending.size())));
-    std::vector<Worker> workers(nworkers);
-    std::int64_t restarts_left = sup.max_worker_restarts;
-    std::size_t done_count = 0;
+                               static_cast<std::int64_t>(sched.size())));
+    WorkerPool pool(sup.worker_cmd, sup.max_worker_restarts);
+    tensor::check(pool.spawn(nworkers),
+                  "supervisor: failed to spawn worker process");
     std::int64_t quarantined = 0;
 
-    // Quarantine or schedule a retry for pending[p] after a failed attempt.
+    // Quarantine or schedule a retry for scheduler entry p after a failed
+    // attempt.
     const auto attempt_failed = [&](std::size_t p, const std::string& reason) {
-        PendingCell& pc = pending[p];
-        pc.in_flight = false;
-        const SweepCell& cell = cells[pc.cell_index];
-        if (pc.attempts > sup.max_cell_retries) {
-            CellResult fr;
-            fr.status = "failed";
-            fr.reason = reason;
-            fr.attempts = pc.attempts;
-            fr.backend = xbar::backend_name(cell.backend);
-            manifest.record(cell.id(), fr);
-            results[cell.id()] = fr;
-            pc.done = true;
-            ++done_count;
-            ++quarantined;
-            util::log_warn("supervisor: quarantined cell " + cell.id() +
-                           " after " + std::to_string(pc.attempts) +
-                           " attempt(s): " + reason);
-        } else {
+        const SweepCell& cell = cells[sched.at(p).cell_index];
+        const std::int64_t attempts = sched.attempts_of(p);
+        if (sched.fail(p, now_ms()) == LeaseScheduler::FailOutcome::kRetry) {
             const double backoff =
                 sup.retry_backoff_ms *
-                std::pow(2.0, static_cast<double>(pc.attempts - 1));
-            pc.eligible_at = now_ms() + backoff;
+                std::pow(2.0, static_cast<double>(attempts - 1));
             ++summary.cell_retries;
             XS_COUNT("sweep.cells.retried", 1);
             util::log_warn("supervisor: cell " + cell.id() + " attempt " +
-                           std::to_string(pc.attempts) + " failed (" + reason +
+                           std::to_string(attempts) + " failed (" + reason +
                            "); retrying in " + util::fmt(backoff, 0) + " ms");
+        } else {
+            CellResult fr;
+            fr.status = "failed";
+            fr.reason = reason;
+            fr.attempts = attempts;
+            fr.backend = xbar::backend_name(cell.backend);
+            manifest.record(cell.id(), fr);
+            results[cell.id()] = fr;
+            ++quarantined;
+            util::log_warn("supervisor: quarantined cell " + cell.id() +
+                           " after " + std::to_string(attempts) +
+                           " attempt(s): " + reason);
         }
     };
 
@@ -311,105 +222,79 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
     // the restart budget lasts; past it the slot retires and the pool
     // shrinks (graceful degradation — only an empty pool aborts the sweep).
     const auto worker_died = [&](std::size_t wi, const std::string& how) {
-        Worker& w = workers[wi];
-        int wstatus = 0;
-        ::waitpid(w.pid, &wstatus, 0);
-        const std::string detail =
-            how.empty() ? describe_exit(wstatus) : how;
-        close_fd(w.deal_fd);
-        close_fd(w.ack_fd);
-        w.alive = false;
-        if (w.dealt >= 0) {
-            attempt_failed(static_cast<std::size_t>(w.dealt),
+        const std::int64_t dealt = pool[wi].dealt;
+        bool respawned = false;
+        const std::string reaped = pool.reap_and_respawn(wi, respawned);
+        const std::string detail = how.empty() ? reaped : how;
+        if (dealt >= 0)
+            attempt_failed(static_cast<std::size_t>(dealt),
                            "worker " + detail);
-            w.dealt = -1;
+        if (respawned) {
+            summary.worker_restarts = pool.restarts();
+            util::log_warn("supervisor: worker " + detail +
+                           "; respawned as pid " +
+                           std::to_string(pool[wi].pid) + " (" +
+                           std::to_string(pool.restarts_left()) +
+                           " restart(s) left)");
+        } else {
+            util::log_warn("supervisor: worker " + detail +
+                           "; slot retired (restart budget exhausted)");
         }
-        if (restarts_left > 0) {
-            --restarts_left;
-            if (spawn_worker(sup.worker_cmd, w)) {
-                ++summary.worker_restarts;
-                util::log_warn("supervisor: worker " + detail +
-                               "; respawned as pid " + std::to_string(w.pid) +
-                               " (" + std::to_string(restarts_left) +
-                               " restart(s) left)");
-                return;
-            }
-        }
-        util::log_warn("supervisor: worker " + detail +
-                       "; slot retired (restart budget exhausted)");
     };
-
-    for (std::size_t wi = 0; wi < nworkers; ++wi)
-        tensor::check(spawn_worker(sup.worker_cmd, workers[wi]),
-                      "supervisor: failed to spawn worker process");
 
     std::vector<pollfd> fds;
     std::vector<std::size_t> fd_owner;
     const util::Stopwatch run_clock;
     double next_beat = opts.progress_sec;
-    while (done_count < pending.size()) {
+    while (!sched.all_done()) {
         const double now = now_ms();
 
-        // Deal: lowest-index eligible cell to each idle ready worker.
+        // Deal: lowest-index eligible cell to each idle ready worker. The
+        // lease deadline doubles as the watchdog deadline.
         for (std::size_t wi = 0; wi < nworkers; ++wi) {
-            Worker& w = workers[wi];
+            PoolWorker& w = pool[wi];
             if (!w.alive || !w.ready || w.dealt >= 0) continue;
-            std::size_t p = pending.size();
-            for (std::size_t i = 0; i < pending.size(); ++i) {
-                PendingCell& pc = pending[i];
-                if (!pc.done && !pc.in_flight && pc.eligible_at <= now) {
-                    p = i;
-                    break;
-                }
-            }
-            if (p == pending.size()) break;  // nothing eligible right now
-            PendingCell& pc = pending[p];
-            ++pc.attempts;
+            const std::int64_t p = sched.next_eligible(now);
+            if (p < 0) break;  // nothing eligible right now
+            const std::size_t pi = static_cast<std::size_t>(p);
+            const std::size_t ci = sched.at(pi).cell_index;
+            sched.deal(pi, now, opts.cell_budget_ms,
+                       static_cast<std::int64_t>(wi));
             const std::string payload = wire::encode_deal(
-                static_cast<std::int64_t>(pc.cell_index), pc.attempts - 1);
+                static_cast<std::int64_t>(ci), sched.attempts_of(pi) - 1);
             if (!wire::write_message(w.deal_fd, wire::MsgType::kDeal,
                                      payload)) {
-                --pc.attempts;  // the deal never reached a worker
-                ::kill(w.pid, SIGKILL);
+                sched.undeal(pi);  // the deal never reached a worker
+                pool.kill(wi);
                 worker_died(wi, "rejected a deal (broken pipe)");
                 continue;
             }
-            pc.in_flight = true;
-            w.dealt = static_cast<std::int64_t>(p);
+            w.dealt = p;
             w.ready = false;
-            w.deadline =
-                opts.cell_budget_ms > 0.0 ? now + opts.cell_budget_ms : 0.0;
         }
 
         // Abort only when nobody is left to make progress; the manifest
         // already holds every finished cell for --resume.
-        bool any_alive = false;
-        for (const Worker& w : workers) any_alive |= w.alive;
-        tensor::check(any_alive,
+        tensor::check(pool.alive_count() > 0,
                       "supervisor: all workers dead with " +
-                          std::to_string(pending.size() - done_count) +
+                          std::to_string(sched.size() - sched.done_count()) +
                           " cell(s) undone; fix the fault and rerun with "
                           "--resume");
 
-        // Poll timeout: the nearest watchdog deadline or backoff expiry,
+        // Poll timeout: the nearest lease deadline or backoff expiry,
         // capped at 1 s so liveness checks keep running regardless.
-        double timeout = 1000.0;
-        for (const Worker& w : workers)
-            if (w.alive && w.dealt >= 0 && w.deadline > 0.0)
-                timeout = std::min(timeout, w.deadline - now);
-        for (const PendingCell& pc : pending)
-            if (!pc.done && !pc.in_flight && pc.eligible_at > now)
-                timeout = std::min(timeout, pc.eligible_at - now);
+        double timeout = sched.next_event_ms(now, 1000.0);
         if (opts.progress_sec > 0.0)
-            timeout =
-                std::min(timeout, (next_beat - run_clock.seconds()) * 1000.0);
-        timeout = std::max(timeout, 0.0);
+            timeout = std::max(
+                std::min(timeout,
+                         (next_beat - run_clock.seconds()) * 1000.0),
+                0.0);
 
         fds.clear();
         fd_owner.clear();
         for (std::size_t wi = 0; wi < nworkers; ++wi)
-            if (workers[wi].alive) {
-                fds.push_back({workers[wi].ack_fd, POLLIN, 0});
+            if (pool[wi].alive) {
+                fds.push_back({pool[wi].ack_fd, POLLIN, 0});
                 fd_owner.push_back(wi);
             }
         ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
@@ -419,7 +304,7 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
         // an ack already in the pipe always beats the axe.
         for (std::size_t fi = 0; fi < fds.size(); ++fi) {
             if (fds[fi].revents == 0) continue;
-            Worker& w = workers[fd_owner[fi]];
+            PoolWorker& w = pool[fd_owner[fi]];
             w.reader.fill();
             wire::Message msg;
             while (w.reader.pop(msg)) {
@@ -435,21 +320,16 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
                             "supervisor: worker sent an undecodable ack");
                         tensor::check(
                             w.dealt >= 0 &&
-                                id ==
-                                    cells[pending[static_cast<std::size_t>(
-                                                      w.dealt)]
-                                              .cell_index]
-                                        .id(),
+                                id == cells[sched.at(static_cast<std::size_t>(
+                                                         w.dealt))
+                                                .cell_index]
+                                          .id(),
                             "supervisor: ack for '" + id +
                                 "' does not match the dealt cell");
                         manifest.record(id, r);  // durable before counted
                         results[id] = r;
                         XS_COUNT("sweep.cells.done", 1);
-                        PendingCell& pc =
-                            pending[static_cast<std::size_t>(w.dealt)];
-                        pc.done = true;
-                        pc.in_flight = false;
-                        ++done_count;
+                        sched.ack(static_cast<std::size_t>(w.dealt));
                         ++summary.cells_executed;
                         if (opts.cell_budget_ms > 0.0 &&
                             r.wall_ms > opts.cell_budget_ms) {
@@ -460,11 +340,11 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
                                 util::fmt(opts.cell_budget_ms, 0) + " ms");
                         }
                         w.dealt = -1;
-                        w.deadline = 0.0;
                         w.ready = true;
                         util::log_info(
-                            "sweep cell " + std::to_string(done_count) + "/" +
-                            std::to_string(pending.size()) + " " + id +
+                            "sweep cell " +
+                            std::to_string(sched.done_count()) + "/" +
+                            std::to_string(sched.size()) + " " + id +
                             ": acc " + util::fmt(r.accuracy) + "% (" +
                             util::fmt(r.wall_ms, 0) + " ms, attempt " +
                             std::to_string(r.attempts) + ")");
@@ -475,7 +355,6 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
                             attempt_failed(static_cast<std::size_t>(w.dealt),
                                            msg.payload);
                         w.dealt = -1;
-                        w.deadline = 0.0;
                         w.ready = true;  // the worker itself is fine
                         break;
                     default:
@@ -488,120 +367,59 @@ SweepSummary run_supervised(core::ExperimentContext& ctx, const SweepSpec& spec,
             if (w.reader.finished()) worker_died(fd_owner[fi], "");
         }
 
-        // Watchdog: SIGKILL workers holding a cell past the budget. The
-        // kill surfaces as EOF next iteration, but reaping here keeps the
+        // Watchdog: SIGKILL workers holding a cell past its lease. The kill
+        // surfaces as EOF next iteration, but reaping here keeps the
         // re-deal latency at one loop turn.
-        if (opts.cell_budget_ms > 0.0) {
-            const double t = now_ms();
-            for (std::size_t wi = 0; wi < nworkers; ++wi) {
-                Worker& w = workers[wi];
-                if (!w.alive || w.dealt < 0 || w.deadline <= 0.0 ||
-                    t < w.deadline)
-                    continue;
-                ::kill(w.pid, SIGKILL);
-                ++summary.watchdog_kills;
-                // A watchdog kill *is* a budget overrun: the attempt held
-                // the cell past cell_budget_ms, so the supervised path
-                // counts it like the in-process runner counts a slow cell.
-                ++summary.cells_over_budget;
-                worker_died(wi, "watchdog-killed after " +
-                                    util::fmt(opts.cell_budget_ms, 0) +
-                                    " ms on cell " +
-                                    cells[pending[static_cast<std::size_t>(
-                                                      w.dealt)]
-                                              .cell_index]
-                                        .id());
-            }
+        for (const std::size_t p : sched.expired(now_ms())) {
+            const std::size_t wi =
+                static_cast<std::size_t>(sched.at(p).owner);
+            pool.kill(wi);
+            ++summary.watchdog_kills;
+            // A watchdog kill *is* a budget overrun: the attempt held the
+            // cell past cell_budget_ms, so the supervised path counts it
+            // like the in-process runner counts a slow cell.
+            ++summary.cells_over_budget;
+            worker_died(wi, "watchdog-killed after " +
+                                util::fmt(opts.cell_budget_ms, 0) +
+                                " ms on cell " +
+                                cells[sched.at(p).cell_index].id());
         }
 
         // Progress heartbeat: the poll timeout is capped so this fires on
         // schedule even when the pipes are quiet.
         if (opts.progress_sec > 0.0 && run_clock.seconds() >= next_beat) {
             next_beat = run_clock.seconds() + opts.progress_sec;
-            std::size_t alive = 0, busy = 0;
-            for (const Worker& w : workers) {
-                if (!w.alive) continue;
-                ++alive;
-                if (w.dealt >= 0) ++busy;
-            }
             const double elapsed = run_clock.seconds();
-            const double rate =
-                elapsed > 0.0 ? static_cast<double>(done_count) / elapsed : 0.0;
+            const double done = static_cast<double>(sched.done_count());
+            const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
             const double left =
-                static_cast<double>(pending.size() - done_count);
+                static_cast<double>(sched.size() - sched.done_count());
             util::log_info(
-                "progress: " + std::to_string(done_count) + "/" +
-                std::to_string(pending.size()) + " cells (" +
+                "progress: " + std::to_string(sched.done_count()) + "/" +
+                std::to_string(sched.size()) + " cells (" +
                 std::to_string(quarantined) + " failed, " +
                 std::to_string(summary.cell_retries) + " retries), " +
                 util::fmt(rate, 2) + " cells/s, eta " +
                 (rate > 0.0 ? util::fmt(left / rate, 0) + " s" : "?") +
-                "; workers: " + std::to_string(alive) + "/" +
-                std::to_string(nworkers) + " alive, " + std::to_string(busy) +
-                " busy");
+                "; workers: " + std::to_string(pool.alive_count()) + "/" +
+                std::to_string(nworkers) + " alive, " +
+                std::to_string(pool.busy_count()) + " busy");
         }
     }
 
-    // Orderly shutdown: ask nicely, give the pool a moment, then insist.
-    for (Worker& w : workers) {
-        if (!w.alive) continue;
-        wire::write_message(w.deal_fd, wire::MsgType::kShutdown, "");
-        close_fd(w.deal_fd);
-    }
-    const double grace_deadline = now_ms() + 5000.0;
 #if XS_TELEMETRY_ENABLED
-    // Each worker answers kShutdown with one kMetrics frame before exiting;
-    // fold those into the coordinator's own snapshot under the same grace
-    // deadline the reaper uses. A worker that dies without the frame just
-    // contributes nothing — telemetry never blocks shutdown past the grace.
     util::metrics::Snapshot merged = util::metrics::snapshot();
-    for (Worker& w : workers) {
-        if (!w.alive) continue;
-        wire::Message msg;
-        while (true) {
-            if (w.reader.pop(msg)) {  // buffered frames survive EOF
-                if (msg.type == wire::MsgType::kMetrics) {
-                    util::metrics::Snapshot snap;
-                    if (util::metrics::from_json(msg.payload, snap))
-                        util::metrics::merge(merged, snap);
-                    else
-                        util::log_warn(
-                            "supervisor: discarding an unparsable metrics "
-                            "frame from worker pid " + std::to_string(w.pid));
-                }
-                continue;  // late hellos/acks carry nothing actionable now
-            }
-            if (w.reader.finished()) break;
-            const double left = grace_deadline - now_ms();
-            if (left <= 0.0) break;
-            pollfd pfd{w.ack_fd, POLLIN, 0};
-            ::poll(&pfd, 1, static_cast<int>(std::ceil(left)));
-            w.reader.fill();
-        }
-    }
+    pool.shutdown(5000.0, &merged);
+#else
+    pool.shutdown(5000.0, nullptr);
 #endif
-    for (Worker& w : workers) {
-        if (!w.alive) continue;
-        int wstatus = 0;
-        while (true) {
-            const pid_t got = ::waitpid(w.pid, &wstatus, WNOHANG);
-            if (got == w.pid || got < 0) break;
-            if (now_ms() > grace_deadline) {
-                ::kill(w.pid, SIGKILL);
-                ::waitpid(w.pid, &wstatus, 0);
-                break;
-            }
-            ::usleep(10 * 1000);
-        }
-        close_fd(w.ack_fd);
-        w.alive = false;
-    }
 
     tensor::check(manifest.ok(), "supervisor: manifest writes to '" +
                                      summary.manifest_path +
                                      "' failed; resume state is incomplete");
     aggregate_and_write_csv(cells, spec, results, summary);
 #if XS_TELEMETRY_ENABLED
+    merge_prior_metrics(prior_metrics, merged);
     summary.metrics_json = util::metrics::to_json(merged);
     manifest.record_metrics(summary.metrics_json);
 #endif

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <poll.h>
 #include <unistd.h>
 
 namespace xs::sweep::wire {
@@ -31,6 +32,16 @@ bool write_all(int fd, const char* data, std::size_t len) {
         const ssize_t n = ::write(fd, data, len);
         if (n < 0) {
             if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Nonblocking fd with a full buffer mid-frame: dropping the
+                // remaining bytes would tear the frame for the peer, and
+                // retrying the write immediately would busy-loop. Park on
+                // poll until the fd drains (a dead peer surfaces as
+                // POLLERR/POLLHUP and the next write fails with EPIPE).
+                pollfd pfd{fd, POLLOUT, 0};
+                ::poll(&pfd, 1, -1);
+                continue;
+            }
             return false;
         }
         data += n;

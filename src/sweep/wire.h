@@ -1,25 +1,39 @@
-// Length-prefixed message framing for the sweep supervision pipes
-// (DESIGN.md §9). The coordinator and its worker processes exchange small
-// framed messages over anonymous pipes: a 4-byte little-endian payload
-// length, a 1-byte type tag, then the payload bytes. Pipes deliver bytes in
-// order but not in frames, so both ends reassemble; the coordinator side
-// reads nonblocking through a buffering MessageReader (driven by poll),
-// workers read blocking.
+// Length-prefixed message framing for the sweep supervision transports
+// (DESIGN.md §9/§11). Coordinators, agents, and worker processes exchange
+// small framed messages: a 4-byte little-endian payload length, a 1-byte
+// type tag, then the payload bytes. The framing is transport-agnostic —
+// anonymous pipes for the single-host supervisor, TCP sockets for the
+// multi-host service (sweep/net.h) — because both deliver bytes in order
+// but not in frames; the receiving side reassembles, nonblocking reads
+// through a buffering MessageReader (driven by poll), blocking reads
+// through read_message().
 //
 // Message flow:
-//   worker → coordinator:  kHello  (ready for work)
-//                          kAck    (payload = the cell's manifest JSONL line)
-//                          kFail   (payload = error text; worker stays alive)
-//                          kMetrics (payload = util/metrics.h snapshot JSON,
-//                                    sent once in response to kShutdown)
-//   coordinator → worker:  kDeal   (payload = "<cell index> <attempt>")
-//                          kShutdown
+//   worker/agent → coordinator:
+//       kHello  (ready for work; pipe transport only)
+//       kJoin   (payload = "<fingerprint> <capacity>": an agent host offers
+//                its worker capacity; a fingerprint mismatch is rejected)
+//       kAck    (payload = the cell's manifest JSONL line)
+//       kFail   (payload = error text on pipes;
+//                "<cell index> <reason>" on sockets, where many cells are
+//                in flight per peer and the text alone can't name the cell)
+//       kHeartbeat (liveness beacon on the service cadence)
+//       kMetrics (payload = util/metrics.h snapshot JSON,
+//                 sent once in response to kShutdown)
+//   coordinator → worker/agent:
+//       kJoin   (payload = "<heartbeat_ms> <lease_ms>": join accepted,
+//                here is the cadence and the per-deal lease budget)
+//       kDeal   (payload = "<cell index> <attempt>")
+//       kShutdown
 //
 // The kAck payload *is* the manifest line: the coordinator appends it to the
 // durable manifest and that append is the acknowledgement — a worker that
 // dies after computing but before the coordinator records loses nothing but
 // wall time, because the cell is simply re-dealt and recomputes the same
-// deterministic bytes.
+// deterministic bytes. A *duplicate* ack (a slow-but-alive host finishing a
+// cell whose lease already expired and was re-dealt) is deduped against the
+// recorded results: the first durable append wins, later copies are
+// dropped, so a cell is never double-recorded.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +48,8 @@ enum class MsgType : std::uint8_t {
     kAck = 4,
     kFail = 5,
     kMetrics = 6,
+    kJoin = 7,       // agent → service handshake / service → agent accept
+    kHeartbeat = 8,  // liveness beacon (either direction, empty payload)
 };
 
 struct Message {
@@ -45,8 +61,12 @@ struct Message {
 // is a corrupt stream, not a message.
 constexpr std::uint32_t kMaxPayload = 1u << 20;
 
-// Write one full frame (EINTR-safe, handles short writes). Returns false
-// when the peer is gone (EPIPE/EBADF) or on any other write error.
+// Write one full frame (EINTR-safe, handles short writes). On a
+// *nonblocking* fd a short write followed by EAGAIN polls for writability
+// and resumes where it left off — the frame is either delivered whole or
+// not at all, never torn, and the call never busy-loops (sockets hit this
+// constantly; pipes rarely did). Returns false when the peer is gone
+// (EPIPE/EBADF) or on any other write error.
 bool write_message(int fd, MsgType type, const std::string& payload);
 
 // Blocking read of one full frame. Returns false on EOF or a corrupt frame.

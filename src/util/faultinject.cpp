@@ -2,6 +2,7 @@
 
 #include "tensor/tensor.h"  // tensor::check
 
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <memory>
@@ -28,6 +29,10 @@ Action parse_action(const std::string& name) {
     if (name == "hang") return Action::kHang;
     if (name == "fail") return Action::kFail;
     if (name == "truncate-manifest") return Action::kTruncate;
+    if (name == "net-drop") return Action::kNetDrop;
+    if (name == "net-partial-write") return Action::kNetPartialWrite;
+    if (name == "net-delay") return Action::kNetDelay;
+    if (name == "net-disconnect") return Action::kNetDisconnect;
     tensor::check(false, "XS_FAULT: unknown action '" + name + "'");
     return Action::kNone;
 }
@@ -52,9 +57,22 @@ Plan parse_plan(const std::string& text) {
         }
         const auto at_pos = item.find('@');
         if (at_pos == std::string::npos) {
-            // Bare action, e.g. "truncate-manifest": first record at site 0.
+            // Bare action, e.g. "truncate-manifest": index 0 at the
+            // action's natural site.
             spec.action = parse_action(item);
-            spec.site = spec.action == Action::kTruncate ? "record" : "cell";
+            switch (spec.action) {
+                case Action::kTruncate:
+                    spec.site = "record";
+                    break;
+                case Action::kNetDrop:
+                case Action::kNetPartialWrite:
+                case Action::kNetDelay:
+                case Action::kNetDisconnect:
+                    spec.site = "net-send";
+                    break;
+                default:
+                    spec.site = "cell";
+            }
             spec.index = 0;
         } else {
             spec.action = parse_action(item.substr(0, at_pos));
@@ -118,10 +136,30 @@ void execute(Action action, const char* site, std::int64_t index) {
             throw std::runtime_error("injected fault: fail@" +
                                      std::string(site) + ":" +
                                      std::to_string(index));
+        case Action::kNetDelay:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(net_delay_ms()));
+            return;
         case Action::kNone:
         case Action::kTruncate:
+        case Action::kNetDrop:
+        case Action::kNetPartialWrite:
+        case Action::kNetDisconnect:
             return;
     }
+}
+
+std::int64_t net_delay_ms() {
+    static const std::int64_t ms = [] {
+        const char* env = std::getenv("XS_FAULT_NET_DELAY_MS");
+        if (env && *env) {
+            char* end = nullptr;
+            const long long v = std::strtoll(env, &end, 10);
+            if (end != env && v >= 0) return static_cast<std::int64_t>(v);
+        }
+        return static_cast<std::int64_t>(1000);
+    }();
+    return ms;
 }
 
 void install_plan(const std::string& plan) {

@@ -13,6 +13,18 @@
 //   XS_FAULT="fail@cell:2*"            cell 2 throws on *every* attempt
 //   XS_FAULT="truncate-manifest@record:1"  tear the 2nd manifest record
 //   XS_FAULT="truncate-manifest"       shorthand for record:0
+//   XS_FAULT="net-drop@net-send:3"     silently swallow the 4th sent frame
+//   XS_FAULT="net-partial-write@net-send:2"  write half the frame, then
+//                                      sever the connection (torn frame)
+//   XS_FAULT="net-delay@net-send:5"    stall the send long enough for the
+//                                      peer's lease/heartbeat logic to act
+//   XS_FAULT="net-disconnect@net-send:0"  sever the connection instead of
+//                                      sending (network blip / host death)
+//   XS_FAULT="net-delay@net-send-ack:0"  same actions, but the index counts
+//                                      only kAck frames — "this host's Nth
+//                                      result" is deterministic where the
+//                                      raw frame ordinal shifts with
+//                                      heartbeat cadence and worker boot
 //
 // `<action>@<site>:<index>` fires when the named site is reached with that
 // index on the FIRST attempt only (attempt 0) — a respawned worker retrying
@@ -20,8 +32,19 @@
 // the tests need. A trailing '*' fires on every attempt (poison cells).
 //
 // Sites in use: "cell" (index = cell's position in the sweep expansion,
-// checked by the worker loop) and "record" (index = data-record ordinal of
-// one ManifestWriter instance).
+// checked by the worker loop), "record" (index = data-record ordinal of
+// one ManifestWriter instance), "net-send" (index = process-wide ordinal of
+// frames sent through sweep/net.h send_frame; attempt is always 0, so the
+// '*' suffix is only needed to fire at one ordinal repeatedly),
+// "net-send-ack" (like net-send but the index counts kAck frames only, and
+// it takes precedence over a net-send match on the same frame), and
+// "agent-deal" (index = the dealt cell's index, attempt = the deal's
+// attempt, checked as an agent host accepts the deal — kCrash here is
+// whole-host death mid-cell, workers and all; attempt-0 gating means a
+// cell's first deal kills exactly one host, wherever it lands).
+//
+// The net-delay stall duration defaults to 1000 ms and is overridable via
+// XS_FAULT_NET_DELAY_MS (tests tune it against their lease budgets).
 #pragma once
 
 #include <cstdint>
@@ -30,11 +53,16 @@
 namespace xs::util::fault {
 
 enum class Action {
-    kNone,      // proceed normally
-    kCrash,     // die without cleanup (raise SIGKILL)
-    kHang,      // block forever
-    kFail,      // throw a recoverable error
-    kTruncate,  // write a torn (partial, unterminated) record
+    kNone,             // proceed normally
+    kCrash,            // die without cleanup (raise SIGKILL)
+    kHang,             // block forever
+    kFail,             // throw a recoverable error
+    kTruncate,         // write a torn (partial, unterminated) record
+    // Network sites (carried out by sweep/net.h, which owns the socket):
+    kNetDrop,          // swallow the frame, pretend the send succeeded
+    kNetPartialWrite,  // write a frame prefix, then sever the connection
+    kNetDelay,         // stall before sending (lease-expiry / late-ack food)
+    kNetDisconnect,    // sever the connection instead of sending
 };
 
 // True when a fault plan is active (XS_FAULT set or install_plan() called
@@ -46,9 +74,13 @@ bool enabled();
 Action at(const char* site, std::int64_t index, std::int64_t attempt = 0);
 
 // Carry out `action` at the call site: kCrash raises SIGKILL, kHang blocks
-// forever, kFail throws std::runtime_error, kNone/kTruncate return (the
-// torn write is the caller's job — only it knows the record bytes).
+// forever, kFail throws std::runtime_error, kNetDelay sleeps the configured
+// stall; kNone/kTruncate/kNet* otherwise return (the torn write or socket
+// surgery is the caller's job — only it owns the bytes and the fd).
 void execute(Action action, const char* site, std::int64_t index);
+
+// The kNetDelay stall in milliseconds (XS_FAULT_NET_DELAY_MS, default 1000).
+std::int64_t net_delay_ms();
 
 // Replace the active plan ("" disables). Parses eagerly and throws on
 // malformed plans. Tests use this because the XS_FAULT parse is cached:
