@@ -1,17 +1,22 @@
 // Ablation bench (DESIGN.md §6 design choices): the C/F-pruned VGG11/CIFAR10
 // model mapped under the default non-ideality stack plus one knob changed at
 // a time — write quantization, stuck-at faults, IR-drop column compensation
-// ([12]-style baseline), the paper's two mitigations, and an unstructured-
-// magnitude pruning baseline (same sparsity, no crossbar savings).
+// ([12]-style baseline), and the paper's two mitigations, on equal footing.
 //
-// This quantifies how much of the degradation each non-ideality contributes
-// and how the mitigations compare on equal footing.
+// A thin SweepSpec driver (DESIGN.md §7): every ablation case is a
+// one-group sweep over the engine's axes (sigma, parasitic scale, faults,
+// quant-levels, mitigations), so each case inherits sharded execution,
+// resumable manifests, lane-batched Monte-Carlo repeats, and deterministic
+// mean±std aggregation instead of a hand-written evaluation loop.
+//
+//   ./bench_ablation [--xbar=64] [--sweep-repeats=N] [--resume]
 #include "core/experiments.h"
-#include "map/compression.h"
+#include "sweep/runner.h"
 #include "util/csv.h"
 #include "util/flags.h"
 
 #include <cstdio>
+#include <vector>
 
 int main(int argc, char** argv) {
     using namespace xs;
@@ -20,68 +25,77 @@ int main(int argc, char** argv) {
     const double s = ctx.sparsity_for(10);
     const std::int64_t size = flags.get_int("xbar", 64);
 
-    auto& unpruned = ctx.prepared(ctx.spec("vgg11", 10, prune::Method::kNone, 0.0));
-    auto& pruned =
-        ctx.prepared(ctx.spec("vgg11", 10, prune::Method::kChannelFilter, s));
-    auto& wct = ctx.prepared(
-        ctx.spec("vgg11", 10, prune::Method::kChannelFilter, s, true));
+    const sweep::PruneSetting unpruned{prune::Method::kNone, 0.0};
+    const sweep::PruneSetting cf{prune::Method::kChannelFilter, s};
+
+    // One knob per case; everything else stays at the default stack.
+    struct Case {
+        const char* label;
+        const char* slug;  // manifest/CSV file name component
+        sweep::PruneSetting prune;
+        sweep::Mitigation mitigation;
+        double sigma;
+        double parasitic_scale;
+        sweep::FaultSetting faults;
+        std::int64_t quant_levels;
+    };
+    const double sig = ctx.sigma();
+    const sweep::Mitigation none{};
+    const std::vector<Case> cases = {
+        {"unpruned baseline", "unpruned", unpruned, none, sig, 1.0, {}, 0},
+        {"C/F baseline", "cf", cf, none, sig, 1.0, {}, 0},
+        {"C/F, no variation", "novar", cf, none, 0.0, 1.0, {}, 0},
+        {"C/F, no parasitics", "nopar", cf, none, sig, 0.0, {}, 0},
+        {"C/F + 6-bit write quant", "q64", cf, none, sig, 1.0, {}, 64},
+        {"C/F + 4-bit write quant", "q16", cf, none, sig, 1.0, {}, 16},
+        {"C/F + 1% stuck faults", "f1", cf, none, sig, 1.0, {0.005, 0.005}, 0},
+        {"C/F + 5% stuck faults", "f5", cf, none, sig, 1.0, {0.025, 0.025}, 0},
+        {"C/F + column compensation", "comp", cf, {false, false, true}, sig,
+         1.0, {}, 0},
+        {"C/F + R", "r", cf, {false, true, false}, sig, 1.0, {}, 0},
+        {"C/F + R + compensation", "rcomp", cf, {false, true, true}, sig, 1.0,
+         {}, 0},
+        {"WCT + C/F", "wct", cf, {true, false, false}, sig, 1.0, {}, 0},
+    };
 
     util::CsvWriter csv(ctx.csv_path("ablation.csv"),
                         {"variant", "xbar_size", "accuracy", "nf_mean"});
-    util::TextTable table({"variant", "accuracy", "NF"});
-    const auto& test = ctx.dataset(10).test;
+    util::TextTable table({"variant", "software", "accuracy", "NF"});
 
-    struct Case {
-        std::string label;
-        core::PreparedModel* model;
-        prune::Method method;
-        std::function<void(core::EvalConfig&)> tweak;
-    };
-    const std::vector<Case> cases = {
-        {"unpruned baseline", &unpruned, prune::Method::kNone, {}},
-        {"C/F baseline", &pruned, prune::Method::kChannelFilter, {}},
-        {"C/F, no variation", &pruned, prune::Method::kChannelFilter,
-         [](core::EvalConfig& c) { c.include_variation = false; }},
-        {"C/F, no parasitics", &pruned, prune::Method::kChannelFilter,
-         [](core::EvalConfig& c) { c.include_parasitics = false; }},
-        {"C/F + 6-bit write quant", &pruned, prune::Method::kChannelFilter,
-         [](core::EvalConfig& c) { c.conductance_levels = 64; }},
-        {"C/F + 4-bit write quant", &pruned, prune::Method::kChannelFilter,
-         [](core::EvalConfig& c) { c.conductance_levels = 16; }},
-        {"C/F + 1% stuck faults", &pruned, prune::Method::kChannelFilter,
-         [](core::EvalConfig& c) {
-             c.faults.p_stuck_min = 0.005;
-             c.faults.p_stuck_max = 0.005;
-         }},
-        {"C/F + 5% stuck faults", &pruned, prune::Method::kChannelFilter,
-         [](core::EvalConfig& c) {
-             c.faults.p_stuck_min = 0.025;
-             c.faults.p_stuck_max = 0.025;
-         }},
-        {"C/F + column compensation", &pruned, prune::Method::kChannelFilter,
-         [](core::EvalConfig& c) { c.compensate_columns = true; }},
-        {"C/F + R", &pruned, prune::Method::kChannelFilter,
-         [](core::EvalConfig& c) { c.rearrange = true; }},
-        {"C/F + R + compensation", &pruned, prune::Method::kChannelFilter,
-         [](core::EvalConfig& c) {
-             c.rearrange = true;
-             c.compensate_columns = true;
-         }},
-        {"WCT + C/F", &wct, prune::Method::kChannelFilter, {}},
-    };
-
-    std::printf("Ablation: C/F-pruned VGG11/CIFAR10 (s=%.2f) on %lldx%lld crossbars\n",
-                s, static_cast<long long>(size), static_cast<long long>(size));
-    std::printf("software accuracy: unpruned %.2f%%, C/F %.2f%%, WCT %.2f%%\n\n",
-                unpruned.software_accuracy, pruned.software_accuracy,
-                wct.software_accuracy);
+    std::printf(
+        "Ablation: C/F-pruned VGG11/CIFAR10 (s=%.2f) on %lldx%lld crossbars\n\n",
+        s, static_cast<long long>(size), static_cast<long long>(size));
 
     for (const Case& c : cases) {
-        core::EvalConfig eval = ctx.eval_config(*c.model, c.method, size);
-        if (c.tweak) c.tweak(eval);
-        const auto r = core::evaluate_on_crossbars(c.model->model, test, eval);
-        csv.row(c.label, size, r.accuracy, r.nf_mean);
-        table.add_row({c.label, util::fmt(r.accuracy) + "%", util::fmt(r.nf_mean, 4)});
+        sweep::SweepSpec spec;
+        spec.class_counts = {10};
+        spec.prunes = {c.prune};
+        spec.mitigations = {c.mitigation};
+        spec.sizes = {size};
+        spec.sigmas = {c.sigma};
+        spec.parasitic_scales = {c.parasitic_scale};
+        spec.faults = {c.faults};
+        spec.quant_levels = {c.quant_levels};
+        spec.repeats = ctx.eval_repeats();
+
+        sweep::SweepOptions opts;
+        opts.shards = flags.get_int("shards", 0);
+        opts.resume = flags.get_bool("resume", false);
+        opts.csv_name = std::string("ablation_") + c.slug + "_sweep.csv";
+        opts.manifest_name =
+            std::string("ablation_") + c.slug + "_manifest.jsonl";
+
+        const sweep::SweepSummary summary =
+            sweep::SweepRunner(ctx, spec, opts).run();
+        if (summary.rows.empty() || !summary.rows.front().complete()) {
+            table.add_row({c.label, "--", "--", "--"});
+            continue;
+        }
+        const sweep::GroupRow& row = summary.rows.front();
+        csv.row(c.label, size, row.acc_mean, row.nf_mean);
+        table.add_row({c.label, util::fmt(row.software_acc) + "%",
+                       util::fmt(row.acc_mean) + "%",
+                       util::fmt(row.nf_mean, 4)});
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("(rows written to results/ablation.csv)\n");

@@ -12,6 +12,7 @@
 #include "xbar/pipeline.h"
 
 #include <algorithm>
+#include <cstring>
 #include <future>
 
 namespace xs::core {
@@ -217,6 +218,23 @@ LayerEvalStats layer_stats_of(const LayerPlan& lp, const DegradeStats& stats) {
     return ls;
 }
 
+// Solver-failure accounting invariant, checked loudly on every aggregate
+// result: unconverged_tiles sums solver failures over ALL Monte-Carlo
+// repeats while total_tiles counts one repeat's mapping, so the bound is
+// total_tiles × repeats (evaluator.h). A violation means a repeat path
+// double-counted or dropped tiles — fail immediately instead of letting a
+// sweep CSV silently report corrupt failure rates.
+void check_failure_accounting(const EvalResult& r, std::int64_t repeats) {
+    tensor::check(
+        r.unconverged_tiles >= 0 &&
+            r.unconverged_tiles <= r.total_tiles * repeats,
+        "evaluate_on_crossbars: solver-failure accounting broken: "
+        "unconverged_tiles = " + std::to_string(r.unconverged_tiles) +
+            " outside [0, total_tiles × repeats = " +
+            std::to_string(r.total_tiles) + " × " + std::to_string(repeats) +
+            "]");
+}
+
 void finalize_nf(EvalResult& result) {
     double nf_sum = 0.0;
     std::int64_t nf_tiles = 0;
@@ -228,6 +246,40 @@ void finalize_nf(EvalResult& result) {
     }
     result.nf_mean = nf_tiles ? nf_sum / static_cast<double>(nf_tiles) : 0.0;
 }
+
+// ---- lane-batched repeat evaluation (DESIGN.md §12) ----
+// One lane per Monte-Carlo repeat of a group: each tile's deterministic prep
+// (extract, differential split) runs once and is shared, the stochastic
+// stages run per lane on private copies with private RNG streams (draws
+// identical to the sequential path), and the parasitic stage batches the
+// circuit solves across lanes (xbar/solver.h). Lane scratch persists across
+// tiles and layers so a lane's warm chain mirrors a sequential repeat's
+// chain; between repeat groups the warm state is dropped, so a repeat's
+// chain never depends on which group it rides in.
+struct BatchLane {
+    Tensor g_pos, g_neg, tile_w;
+    xbar::TileStageContext ctx;
+};
+
+struct BatchWorker {
+    Tensor sub;                 // shared extracted tile
+    Tensor base_pos, base_neg;  // shared pre-stochastic differential pair
+    std::vector<BatchLane> lanes;                   // one per repeat
+    std::vector<xbar::TileStageContext*> ctx_ptrs;  // lane ctx view
+    // One batched solver workspace per group of kMaxSolveLanes lanes. Lane
+    // warm state lives here (circuit backend) or in each lane's ctx.ws
+    // (other backends' per-lane fallback).
+    std::vector<xbar::BatchedDegradeWorkspace> groups;
+
+    void ensure(std::size_t repeats) {
+        if (lanes.size() == repeats) return;
+        lanes.resize(repeats);
+        groups.resize((repeats + xbar::kMaxSolveLanes - 1) /
+                      static_cast<std::size_t>(xbar::kMaxSolveLanes));
+        ctx_ptrs.resize(repeats);
+        for (std::size_t r = 0; r < repeats; ++r) ctx_ptrs[r] = &lanes[r].ctx;
+    }
+};
 
 }  // namespace
 
@@ -263,9 +315,242 @@ std::map<std::string, Tensor> degrade_model_matrices(
     return result;
 }
 
+std::vector<EvalResult> evaluate_repeats_on_crossbars(
+    nn::Sequential& model, const nn::Dataset& test, const EvalConfig& config,
+    const std::vector<std::uint64_t>& seeds) {
+    const std::size_t R = seeds.size();
+    tensor::check(R > 0, "evaluate_repeats_on_crossbars: empty seed list");
+    const std::vector<LayerPlan> plans = build_layer_plans(model, config);
+    nn::InferenceEngine engine(model);
+    tensor::check(engine.mappable_count() == plans.size(),
+                  "evaluate_repeats_on_crossbars: engine/plan mappable-layer "
+                  "mismatch");
+    const xbar::TilePipeline pipeline = build_pipeline(config);
+    const std::int64_t n = config.xbar.size;
+
+    // Repeats ride in groups of half the solver's lane budget, so the
+    // parasitic stage fuses each group's pos+neg solves into one full-width
+    // batched solve (2·kGroupLanes = kMaxSolveLanes). Groups also form the
+    // producer/consumer pipeline below: while group g's batched forward runs
+    // on this thread, group g+1 degrades and compiles on a producer thread.
+    const std::size_t kGroupLanes =
+        static_cast<std::size_t>(xbar::kMaxSolveLanes) / 2;
+    const std::size_t n_groups = (R + kGroupLanes - 1) / kGroupLanes;
+
+    std::vector<nn::CompiledInstance> instances(R);
+    std::vector<std::vector<DegradeStats>> stats(
+        R, std::vector<DegradeStats>(plans.size()));
+    std::vector<BatchWorker> workers(util::worker_count());
+    for (BatchWorker& bw : workers) bw.ensure(kGroupLanes);
+    std::vector<Tensor> lane_work(kGroupLanes);  // per-lane scatter targets
+    std::vector<util::Rng> tile_rngs;  // group-lane-major: [rl·T + t]
+    std::vector<double> tile_nf;
+    std::vector<std::uint8_t> tile_ok;
+
+    // Degrade + fold + pack repeats [g·kGroupLanes, …) into their compiled
+    // instances. Groups run strictly one at a time (the pipeline below
+    // serializes them), so all the scratch above is shared; only the
+    // instances and stats slots written are group-disjoint. Recorded under
+    // the sweep phase namespace: per-cell phase metrics then split into
+    // prepare / compile / eval without the sweep layer having to reach
+    // inside the evaluator (this is a no-op label outside sweeps).
+    const auto compile_group = [&](std::size_t g) {
+        XS_TIMER_NS("sweep.phase.compile.ns");
+        XS_TRACE_SPAN("compile_instances");
+        const std::size_t lane0 = g * kGroupLanes;
+        const std::size_t nl = std::min(kGroupLanes, R - lane0);
+        // Every repeat starts its warm chain cold regardless of which group
+        // it rides in (matching a lone run of that repeat): drop the
+        // previous group's converged voltages from the batched workspace and
+        // the per-lane scalar fallbacks.
+        for (BatchWorker& bw : workers) {
+            bw.groups[0].solve.invalidate();
+            bw.groups[0].retry.invalidate();
+            for (std::size_t rl = 0; rl < nl; ++rl)
+                bw.lanes[rl].ctx.ws.solve.invalidate();
+        }
+        for (std::size_t li = 0; li < plans.size(); ++li) {
+            const LayerPlan& lp = plans[li];
+            const MatrixPlan& plan = lp.plan;
+            const auto& tiles = plan.tiling.tiles;
+            const Tensor& source = plan.mapping_target(lp.matrix);
+            const xbar::ConductanceMapper mapper(config.xbar.device, lp.w_ref);
+            const std::size_t T = tiles.size();
+
+            // Per-(repeat, tile) RNG streams, exactly the sequential path's
+            // Rng(seed).split(layer_tag).split(tile_tag) chain (split is
+            // non-mutating, so the chain is position-independent).
+            tile_rngs.clear();
+            tile_rngs.reserve(nl * T);
+            for (std::size_t rl = 0; rl < nl; ++rl) {
+                util::Rng layer_rng = util::Rng(seeds[lane0 + rl])
+                                          .split(static_cast<std::uint64_t>(li) + 1);
+                for (std::size_t t = 0; t < T; ++t)
+                    tile_rngs.push_back(
+                        layer_rng.split(static_cast<std::uint64_t>(t) + 1));
+            }
+            tile_nf.assign(nl * T, 0.0);
+            tile_ok.assign(nl * T, 1);
+            for (std::size_t rl = 0; rl < nl; ++rl) {
+                lane_work[rl].reset(source.shape());
+                std::memcpy(lane_work[rl].data(), source.data(),
+                            static_cast<std::size_t>(source.numel()) *
+                                sizeof(float));
+            }
+
+            util::parallel_for_workers(
+                0, T, [&](std::size_t w, std::size_t lo, std::size_t hi) {
+                    BatchWorker& bw = workers[w];
+                    for (std::size_t t = lo; t < hi; ++t) {
+                        const map::Tile& tile = tiles[t];
+                        map::extract_tile_into(source, tile, n, bw.sub);
+                        mapper.to_differential(bw.sub, bw.base_pos,
+                                               bw.base_neg);
+                        const std::size_t bytes =
+                            static_cast<std::size_t>(n * n) * sizeof(float);
+                        for (std::size_t rl = 0; rl < nl; ++rl) {
+                            BatchLane& lane = bw.lanes[rl];
+                            lane.g_pos.reset(n, n);
+                            lane.g_neg.reset(n, n);
+                            std::memcpy(lane.g_pos.data(),
+                                        bw.base_pos.data(), bytes);
+                            std::memcpy(lane.g_neg.data(),
+                                        bw.base_neg.data(), bytes);
+                            lane.ctx.begin_tile(lane.g_pos, lane.g_neg,
+                                                tile_rngs[rl * T + t]);
+                        }
+                        pipeline.run_batch(bw.ctx_ptrs.data(),
+                                           static_cast<int>(nl),
+                                           bw.groups[0]);
+                        for (std::size_t rl = 0; rl < nl; ++rl) {
+                            BatchLane& lane = bw.lanes[rl];
+                            tile_nf[rl * T + t] = lane.ctx.nf;
+                            tile_ok[rl * T + t] = lane.ctx.converged;
+                            mapper.from_differential_into(
+                                *lane.ctx.pos, *lane.ctx.neg, lane.tile_w);
+                            // Tiles partition the matrix: write-disjoint.
+                            map::scatter_tile(lane_work[rl], tile,
+                                              lane.tile_w);
+                        }
+                    }
+                });
+
+            for (std::size_t rl = 0; rl < nl; ++rl) {
+                DegradeStats& ds = stats[lane0 + rl][li];
+                for (std::size_t t = 0; t < T; ++t) {
+                    ds.nf_sum += tile_nf[rl * T + t];
+                    ++ds.nf_tiles;
+                    if (!tile_ok[rl * T + t]) ++ds.unconverged;
+                }
+                ds.tiles += plan.tiling.count();
+            }
+
+            // R⁻¹ then T⁻¹, then fold straight into the packed instance.
+            for (std::size_t rl = 0; rl < nl; ++rl) {
+                Tensor mac = std::move(lane_work[rl]);
+                if (config.rearrange)
+                    mac = invert_columns(mac, plan.rearrangement);
+                if (plan.use_compaction)
+                    mac = map::uncompact(plan.compaction, mac);
+                engine.compile_instance_slot(li, &mac, instances[lane0 + rl]);
+            }
+        }
+    };
+
+    std::vector<const nn::CompiledInstance*> inst_ptrs(R);
+    for (std::size_t r = 0; r < R; ++r) inst_ptrs[r] = &instances[r];
+    std::vector<std::int64_t> correct(R, 0);
+    const std::int64_t total = test.size();
+
+    // Run group g's repeats through one batched forward pass per dataset
+    // slice. Reads only inst_ptrs[lane0 …] and the engine's thread-local
+    // scratch, so it is safe against the producer compiling group g+1.
+    const auto infer_group = [&](std::size_t g) {
+        XS_TIMER_NS("core.infer_repeat.ns");
+        XS_TRACE_SPAN("infer_repeat");
+        const std::size_t lane0 = g * kGroupLanes;
+        const std::size_t nl = std::min(kGroupLanes, R - lane0);
+        // Identity-order evaluation over contiguous dataset slices, exactly
+        // nn::evaluate's batching, with the group riding one forward pass.
+        const std::int64_t batch_size = 64;
+        tensor::Shape batch_shape = test.images.shape();
+        const std::int64_t item = total > 0 ? test.images.numel() / total : 0;
+        for (std::int64_t start = 0; start < total; start += batch_size) {
+            const std::int64_t count = std::min(batch_size, total - start);
+            batch_shape[0] = count;
+            const Tensor& logits = engine.forward_batched(
+                test.images.data() + start * item, batch_shape,
+                inst_ptrs.data() + lane0, nl);
+            for (std::size_t rl = 0; rl < nl; ++rl)
+                for (std::int64_t i = 0; i < count; ++i)
+                    if (tensor::argmax_row(
+                            logits,
+                            static_cast<std::int64_t>(rl) * count + i) ==
+                        test.labels[static_cast<std::size_t>(start + i)])
+                        ++correct[lane0 + rl];
+        }
+    };
+
+    // Producer/consumer pipeline over groups (DESIGN.md §12): while this
+    // thread consumes group g (the batched forward), a producer thread
+    // degrades and compiles group g+1. Inside an enclosing pool parallel
+    // region (e.g. one cell of a sharded sweep) the producer's top-level
+    // dispatch would deadlock against the region, so groups then compile
+    // synchronously on this thread; results are identical either way (same
+    // buffers, same per-repeat streams).
+    const bool overlap = !util::in_parallel_region();
+    std::future<void> producer;
+    if (overlap)
+        producer =
+            std::async(std::launch::async, compile_group, std::size_t{0});
+    for (std::size_t g = 0; g < n_groups; ++g) {
+        if (overlap)
+            producer.get();  // group g's instances are ready (rethrows)
+        else
+            compile_group(g);
+        // Kick off group g+1 before consuming group g; the group scratch was
+        // last touched by group g's compile, which just finished.
+        if (overlap && g + 1 < n_groups)
+            producer = std::async(std::launch::async, compile_group, g + 1);
+        infer_group(g);
+    }
+
+    std::vector<EvalResult> out(R);
+    for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t li = 0; li < plans.size(); ++li)
+            out[r].layers.push_back(layer_stats_of(plans[li], stats[r][li]));
+        out[r].accuracy = total ? 100.0 * static_cast<double>(correct[r]) /
+                                      static_cast<double>(total)
+                                : 0.0;
+        finalize_nf(out[r]);
+    }
+    return out;
+}
+
 EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
                                  const EvalConfig& config) {
     const std::int64_t repeats = std::max<std::int64_t>(config.repeats, 1);
+    if (config.repeat_batch) {
+        std::vector<std::uint64_t> seeds(static_cast<std::size_t>(repeats));
+        for (std::int64_t r = 0; r < repeats; ++r)
+            seeds[static_cast<std::size_t>(r)] =
+                config.seed + static_cast<std::uint64_t>(r) * 7919;
+        std::vector<EvalResult> per =
+            evaluate_repeats_on_crossbars(model, test, config, seeds);
+        // Identical accumulation order to the sequential loop below, so the
+        // averages are bit-identical too.
+        EvalResult aggregate = std::move(per[0]);
+        for (std::int64_t r = 1; r < repeats; ++r) {
+            const EvalResult& one = per[static_cast<std::size_t>(r)];
+            aggregate.accuracy += one.accuracy;
+            aggregate.nf_mean += one.nf_mean;
+            aggregate.unconverged_tiles += one.unconverged_tiles;
+        }
+        aggregate.accuracy /= static_cast<double>(repeats);
+        aggregate.nf_mean /= static_cast<double>(repeats);
+        check_failure_accounting(aggregate, repeats);
+        return aggregate;
+    }
     // The mapping plans (and w_ref scales) are deterministic: build them once
     // and reuse across every Monte-Carlo repeat.
     const std::vector<LayerPlan> plans = build_layer_plans(model, config);
@@ -359,6 +644,7 @@ EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
     }
     aggregate.accuracy /= static_cast<double>(repeats);
     aggregate.nf_mean /= static_cast<double>(repeats);
+    check_failure_accounting(aggregate, repeats);
     return aggregate;
 }
 

@@ -64,6 +64,17 @@ struct EvalConfig {
     // the paper). Exactly restores each column's calibration-point current;
     // residual error remains for other inputs.
     bool compensate_columns = false;
+    // Evaluate all Monte-Carlo repeats in one lane-batched pass (DESIGN.md
+    // §12): every repeat shares each tile's deterministic prep, circuit
+    // solves batch across repeat lanes (xbar/solver.h), and each repeat's
+    // W′ is compiled into a packed engine instance so inference runs once
+    // with the repeat dimension as an extra batch axis (nn/infer.h
+    // forward_batched). With cold-start solves (warm_start_solves = false)
+    // results are bit-identical to the sequential loop; warm starts chain
+    // within a repeat lane instead of across repeats, so warm multi-repeat
+    // runs can differ by solver residuals far below float resolution.
+    // false = the sequential per-repeat degrade→refresh→evaluate loop.
+    bool repeat_batch = true;
 };
 
 struct LayerEvalStats {
@@ -117,6 +128,17 @@ std::map<std::string, tensor::Tensor> degrade_model_matrices(
 // repeat r's inference on a producer thread (DESIGN.md §6).
 EvalResult evaluate_on_crossbars(nn::Sequential& model, const nn::Dataset& test,
                                  const EvalConfig& config);
+
+// One EvalResult per entry of `seeds`: repeat r degrades with seed seeds[r]
+// and all repeats evaluate in a single lane-batched pass (config.repeats is
+// ignored — the seed list IS the repeat axis). evaluate_on_crossbars with
+// repeat_batch = true is this plus the repeat averaging; sweeps call it
+// directly with one group's per-cell seeds so the group's repeats share the
+// deterministic mapping work and one inference engine while every repeat
+// still produces its own CellResult.
+std::vector<EvalResult> evaluate_repeats_on_crossbars(
+    nn::Sequential& model, const nn::Dataset& test, const EvalConfig& config,
+    const std::vector<std::uint64_t>& seeds);
 
 // NF measurement only (paper Fig. 3(d)) — no inference pass.
 EvalResult measure_nf(nn::Sequential& model, const EvalConfig& config);

@@ -119,6 +119,27 @@ void pool_kernel(void* pv, std::size_t /*worker*/, std::size_t lo,
     }
 }
 
+// Per-thread scratch shared by every engine on the thread: the activation
+// ping-pong pair (scalar run() and forward_batched() use it in turn — a
+// forward is synchronous, so the two never overlap on one thread) and the
+// packed im2col panel store. Evaluators construct a fresh engine per
+// Monte-Carlo evaluation; engine-owned buffers this large (multi-MB) would be
+// mmap'd by the allocator and returned to the OS on every engine destruction,
+// repaying page faults and zero fills each eval. Thread-locality makes the
+// sharing race-free; the engine copies its final output out of the arena
+// before returning (InferenceEngine::out_), so callers never hold references
+// into this scratch.
+struct EngineScratch {
+    Tensor arena[2];            // ping-pong activation buffers
+    std::vector<float> packedb;  // packed im2col panels, grown once and
+                                 // reused across layers/batches/engines
+};
+
+EngineScratch& engine_scratch() {
+    static thread_local EngineScratch scratch;
+    return scratch;
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(Sequential& model) {
@@ -184,6 +205,8 @@ void InferenceEngine::build_plan(Sequential& model) {
         } else {
             s.kind = Step::Kind::kGeneric;
         }
+        if (s.kind == Step::Kind::kConv || s.kind == Step::Kind::kLinear)
+            mappable_steps_.push_back(steps_.size());
         steps_.push_back(std::move(s));
         i = next;
     }
@@ -208,7 +231,9 @@ void InferenceEngine::refresh(const std::vector<const Tensor*>& mac_overrides) {
     }
 }
 
-void InferenceEngine::refresh_step(Step& step, const Tensor* mac_override) {
+void InferenceEngine::fold_step(const Step& step, const Tensor* mac_override,
+                                Tensor& w, Tensor& b,
+                                tensor::PackedGemmA& wpack) const {
     if (step.kind == Step::Kind::kConv) {
         auto* conv = static_cast<Conv2d*>(step.layer);
         const std::int64_t cout = step.cout, patch = step.patch;
@@ -216,8 +241,8 @@ void InferenceEngine::refresh_step(Step& step, const Tensor* mac_override) {
             check(mac_override->rank() == 2 && mac_override->dim(0) == patch &&
                       mac_override->dim(1) == cout,
                   "InferenceEngine: conv MAC override shape mismatch");
-        step.w.reset(cout, patch);
-        if (step.epilogue && step.b.numel() != cout) step.b = Tensor({cout});
+        w.reset(cout, patch);
+        if (step.epilogue && b.numel() != cout) b = Tensor({cout});
         const float* src = conv->weight().value.data();  // (cout × patch)
         for (std::int64_t c = 0; c < cout; ++c) {
             // BN folding in double: y = s·(conv(x) + bias) + t with the
@@ -228,9 +253,9 @@ void InferenceEngine::refresh_step(Step& step, const Tensor* mac_override) {
             if (step.epilogue) {
                 const double bias =
                     conv->has_bias() ? conv->bias().value[c] : 0.0;
-                step.b[c] = static_cast<float>(s * bias + t);
+                b[c] = static_cast<float>(s * bias + t);
             }
-            float* dst = step.w.data() + c * patch;
+            float* dst = w.data() + c * patch;
             if (mac_override) {
                 // MAC orientation is (patch × cout): transposed read, once
                 // per refresh — this replaces the inject/restore transposes.
@@ -243,7 +268,7 @@ void InferenceEngine::refresh_step(Step& step, const Tensor* mac_override) {
                     dst[p] = static_cast<float>(s * row[p]);
             }
         }
-        tensor::gemm_pack_a(cout, patch, step.w.data(), patch, step.wpack);
+        tensor::gemm_pack_a(cout, patch, w.data(), patch, wpack);
         return;
     }
     auto* fc = static_cast<Linear*>(step.layer);
@@ -252,20 +277,45 @@ void InferenceEngine::refresh_step(Step& step, const Tensor* mac_override) {
         check(mac_override->rank() == 2 && mac_override->dim(0) == in &&
                   mac_override->dim(1) == out,
               "InferenceEngine: linear MAC override shape mismatch");
-    step.w.reset(in, out);
-    if (step.epilogue && step.b.numel() != out) step.b = Tensor({out});
+    w.reset(in, out);
+    if (step.epilogue && b.numel() != out) b = Tensor({out});
     if (mac_override) {
-        std::memcpy(step.w.data(), mac_override->data(),
+        std::memcpy(w.data(), mac_override->data(),
                     static_cast<std::size_t>(in * out) * sizeof(float));
     } else {
         const float* src = fc->weight().value.data();  // (out × in)
         for (std::int64_t j = 0; j < in; ++j)
             for (std::int64_t o = 0; o < out; ++o)
-                step.w.data()[j * out + o] = src[o * in + j];
+                w.data()[j * out + o] = src[o * in + j];
     }
     if (step.epilogue)
         for (std::int64_t o = 0; o < out; ++o)
-            step.b[o] = fc->has_bias() ? fc->bias().value[o] : 0.0f;
+            b[o] = fc->has_bias() ? fc->bias().value[o] : 0.0f;
+}
+
+void InferenceEngine::refresh_step(Step& step, const Tensor* mac_override) {
+    fold_step(step, mac_override, step.w, step.b, step.wpack);
+}
+
+void InferenceEngine::compile_instance_slot(std::size_t slot,
+                                            const Tensor* mac_override,
+                                            CompiledInstance& out) const {
+    check(slot < mappable_count_,
+          "InferenceEngine::compile_instance_slot: slot out of range");
+    XS_TIMER_NS("nn.compile.ns");
+    if (out.slots.size() != mappable_count_) out.slots.resize(mappable_count_);
+    CompiledInstance::Slot& s = out.slots[slot];
+    fold_step(steps_[mappable_steps_[slot]], mac_override, s.w, s.b, s.wpack);
+}
+
+void InferenceEngine::compile_instance(
+    const std::vector<const Tensor*>& mac_overrides,
+    CompiledInstance& out) const {
+    check(mac_overrides.empty() || mac_overrides.size() == mappable_count_,
+          "InferenceEngine::compile_instance: override count mismatch");
+    for (std::size_t slot = 0; slot < mappable_count_; ++slot)
+        compile_instance_slot(
+            slot, mac_overrides.empty() ? nullptr : mac_overrides[slot], out);
 }
 
 const Tensor& InferenceEngine::forward(const Tensor& x) {
@@ -280,6 +330,9 @@ const Tensor& InferenceEngine::run(const float* x, const Shape& shape) {
     XS_TIMER_NS("nn.forward.ns");
     XS_COUNT("nn.forwards", 1);
     XS_TRACE_SPAN("forward");
+    EngineScratch& scratch = engine_scratch();
+    Tensor* const arena_ = scratch.arena;
+    std::vector<float>& packedb_ = scratch.packedb;
     cur_shape_ = shape;  // capacity-reusing copy
     const float* cur = x;
     int cur_arena = -1;   // -1: reading caller storage (zero-copy input)
@@ -574,18 +627,402 @@ const Tensor& InferenceEngine::run(const float* x, const Shape& shape) {
     }
 
     if (cn) to_batch_major();  // model ends inside the conv trunk
-    if (cur_arena < 0) {
-        // Degenerate plan (identity/flatten-only model): materialize the
-        // input view so callers always receive an engine-owned tensor.
-        Tensor& out = arena_[0];
-        out.reset(cur_shape_);
-        std::memcpy(out.data(), cur,
-                    static_cast<std::size_t>(out.numel()) * sizeof(float));
-        return out;
+    // Copy the result out of the shared per-thread arena: the returned
+    // reference must survive other engines forwarding on this thread.
+    out_.reset(cur_shape_);
+    std::memcpy(out_.data(), cur,
+                static_cast<std::size_t>(out_.numel()) * sizeof(float));
+    return out_;
+}
+
+const Tensor& InferenceEngine::forward_batched(
+    const float* x, const Shape& shape, const CompiledInstance* const* instances,
+    std::size_t count) {
+    check(count >= 1, "InferenceEngine::forward_batched: need ≥1 instance");
+    for (std::size_t r = 0; r < count; ++r)
+        check(instances[r] != nullptr &&
+                  instances[r]->slots.size() == mappable_count_,
+              "InferenceEngine::forward_batched: instance slot count mismatch");
+    XS_TIMER_NS("nn.forward.ns");
+    XS_COUNT("nn.forwards", static_cast<std::uint64_t>(count));
+    XS_TRACE_SPAN("forward_batched");
+
+    EngineScratch& scratch = engine_scratch();
+    Tensor* const batch_arena_ = scratch.arena;
+    std::vector<float>& packedb_ = scratch.packedb;
+    const std::int64_t R = static_cast<std::int64_t>(count);
+    cur_shape_ = shape;
+    const float* cur = x;
+    int cur_arena = -1;  // index into batch_arena_ once an arena is written
+    bool cn = false;     // channel-major conv-trunk layout (per lane block)
+    // While `uniform`, every lane shares one activation — the caller's
+    // input, untouched (weightless prefix steps that would write a buffer
+    // materialize lanes first). Divergence happens at the first step that
+    // reads instance weights; until then packing/pooling work is done once
+    // for all R lanes.
+    bool uniform = true;
+    std::size_t slot = 0;
+    const auto dst_of = [](int arena) { return arena == 0 ? 1 : 0; };
+    const auto block_numel = [&]() { return tensor::shape_numel(cur_shape_); };
+
+    // Copy the shared activation into R lane blocks; from here on each lane
+    // transforms its own block.
+    const auto materialize_lanes = [&]() {
+        const std::int64_t block = block_numel();
+        const int dst = dst_of(cur_arena);
+        Tensor& y = batch_arena_[dst];
+        y.reset(R, block);
+        for (std::int64_t r = 0; r < R; ++r)
+            std::memcpy(y.data() + r * block, cur,
+                        static_cast<std::size_t>(block) * sizeof(float));
+        cur = y.data();
+        cur_arena = dst;
+        uniform = false;
+    };
+
+    // Per-lane CN → batch-major transpose (flatten boundary / trunk end).
+    const auto to_batch_major_lanes = [&]() {
+        const std::int64_t n = cur_shape_[0], c = cur_shape_[1],
+                           hw = cur_shape_[2] * cur_shape_[3];
+        const std::int64_t block = n * c * hw;
+        const int dst = dst_of(cur_arena);
+        Tensor& y = batch_arena_[dst];
+        y.reset(R, block);
+        for (std::int64_t r = 0; r < R; ++r) {
+            const float* src = cur + r * block;
+            float* dp = y.data() + r * block;
+            for (std::int64_t ch = 0; ch < c; ++ch)
+                for (std::int64_t i = 0; i < n; ++i)
+                    std::memcpy(dp + (i * c + ch) * hw, src + (ch * n + i) * hw,
+                                static_cast<std::size_t>(hw) * sizeof(float));
+        }
+        cur = y.data();
+        cur_arena = dst;
+        cn = false;
+    };
+
+    for (Step& step : steps_) {
+        if (uniform) {
+            if (step.kind == Step::Kind::kFlatten) {
+                check(!cur_shape_.empty(),
+                      "InferenceEngine: flatten expects a batch dimension");
+                const std::int64_t n = cur_shape_[0];
+                const std::int64_t numel = block_numel();
+                cur_shape_.resize(2);
+                cur_shape_[0] = n;
+                cur_shape_[1] = n > 0 ? numel / n : 0;
+                continue;
+            }
+            if (step.kind != Step::Kind::kConv &&
+                step.kind != Step::Kind::kLinear)
+                materialize_lanes();
+        }
+        switch (step.kind) {
+            case Step::Kind::kConv: {
+                XS_TIMER_NS("nn.step.conv.ns");
+                XS_TRACE_SPAN("conv");
+                check(cur_shape_.size() == 4 && cur_shape_[1] == step.cin,
+                      "InferenceEngine: conv input shape mismatch");
+                const std::int64_t n = cur_shape_[0], h = cur_shape_[2],
+                                   w = cur_shape_[3];
+                const std::int64_t oh =
+                    tensor::conv_out_size(h, step.k, step.stride, step.pad);
+                const std::int64_t ow =
+                    tensor::conv_out_size(w, step.k, step.stride, step.pad);
+                const std::int64_t n_cols = n * oh * ow;
+                const std::int64_t in_block = block_numel();
+                const std::int64_t out_block = step.cout * n_cols;
+                const std::int64_t packed_size =
+                    tensor::packed_b_size(step.patch, n_cols);
+                if (static_cast<std::int64_t>(packedb_.size()) < packed_size)
+                    packedb_.resize(static_cast<std::size_t>(packed_size));
+                const int dst = dst_of(cur_arena);
+                Tensor& y = batch_arena_[dst];
+                y.reset(R, out_block);
+                PackCtx pctx;
+                pctx.packed = packedb_.data();
+                pctx.n = n;
+                pctx.cin = step.cin;
+                pctx.h = h;
+                pctx.w = w;
+                pctx.s_img = cn ? h * w : step.cin * h * w;
+                pctx.s_c = cn ? n * h * w : h * w;
+                pctx.k = step.k;
+                pctx.stride = step.stride;
+                pctx.pad = step.pad;
+                TileCtx tctx;
+                tctx.packed = packedb_.data();
+                tctx.lda = step.patch;
+                tctx.n_cols = n_cols;
+                tctx.relu = step.relu;
+                const std::int64_t total_panels =
+                    tensor::packed_b_panels(n_cols);
+                const std::int64_t block_panels =
+                    tensor::kPackNc / tensor::kPackNr;
+                const std::int64_t row_panels =
+                    (step.cout + tensor::kPackMr - 1) / tensor::kPackMr;
+                const std::int64_t n_blocks =
+                    (total_panels + block_panels - 1) / block_panels;
+                const auto set_lane = [&](std::int64_t r) {
+                    const CompiledInstance::Slot& sl = instances[r]->slots[slot];
+                    tctx.wpack = &sl.wpack;
+                    tctx.wraw = sl.w.data();
+                    tctx.bias = step.epilogue ? sl.b.data() : nullptr;
+                    tctx.y = y.data() + r * out_block;
+                };
+                const bool split_timing = util::metrics::detail_enabled();
+                std::uint64_t pack_ns = 0, kernel_ns = 0;
+                const auto run_blocks = [&]() {
+                    for (std::int64_t nb = 0; nb < n_blocks; ++nb) {
+                        const std::int64_t p_lo = nb * block_panels;
+                        const std::int64_t p_hi =
+                            std::min(total_panels, p_lo + block_panels);
+                        const std::uint64_t t0 =
+                            split_timing ? util::metrics::detail::now_ns() : 0;
+                        util::parallel_for_workers(
+                            static_cast<std::size_t>(p_lo),
+                            static_cast<std::size_t>(p_hi), &pack_kernel,
+                            &pctx);
+                        if (split_timing) {
+                            const std::uint64_t t1 =
+                                util::metrics::detail::now_ns();
+                            pack_ns += t1 - t0;
+                            kernel_ns -= t1;  // closed after the GEMM below
+                        }
+                        if (uniform) {
+                            // Shared input: pack each n-block once and GEMM
+                            // it for every instance while cache-resident —
+                            // the R-fold pack amortization that makes the
+                            // repeat batch cheaper than R forwards.
+                            for (std::int64_t r = 0; r < R; ++r) {
+                                set_lane(r);
+                                util::parallel_for_workers(
+                                    static_cast<std::size_t>(nb * row_panels),
+                                    static_cast<std::size_t>((nb + 1) *
+                                                             row_panels),
+                                    &gemm_tile_kernel, &tctx);
+                            }
+                        } else {
+                            util::parallel_for_workers(
+                                static_cast<std::size_t>(nb * row_panels),
+                                static_cast<std::size_t>((nb + 1) * row_panels),
+                                &gemm_tile_kernel, &tctx);
+                        }
+                        if (split_timing)
+                            kernel_ns += util::metrics::detail::now_ns();
+                    }
+                };
+                if (uniform) {
+                    pctx.x = cur;
+                    run_blocks();
+                    uniform = false;
+                } else {
+                    for (std::int64_t r = 0; r < R; ++r) {
+                        pctx.x = cur + r * in_block;
+                        set_lane(r);
+                        run_blocks();
+                    }
+                }
+                if (split_timing) {
+                    static const util::metrics::Histogram pack_hist =
+                        util::metrics::histogram("gemm.pack.ns");
+                    static const util::metrics::Histogram kernel_hist =
+                        util::metrics::histogram("gemm.kernel.ns");
+                    pack_hist.record(pack_ns);
+                    kernel_hist.record(kernel_ns);
+                }
+                cur = y.data();
+                cur_arena = dst;
+                cn = true;
+                cur_shape_.resize(4);
+                cur_shape_[0] = n;
+                cur_shape_[1] = step.cout;
+                cur_shape_[2] = oh;
+                cur_shape_[3] = ow;
+                ++slot;
+                break;
+            }
+            case Step::Kind::kLinear: {
+                XS_TIMER_NS("nn.step.linear.ns");
+                XS_TRACE_SPAN("linear");
+                check(cur_shape_.size() == 2 &&
+                          cur_shape_[1] == step.in_features,
+                      "InferenceEngine: linear input shape mismatch");
+                const std::int64_t n = cur_shape_[0];
+                const std::int64_t in = step.in_features,
+                                   out = step.out_features;
+                const std::int64_t in_block = n * in, out_block = n * out;
+                const int dst = dst_of(cur_arena);
+                Tensor& y = batch_arena_[dst];
+                y.reset(R, out_block);
+                for (std::int64_t r = 0; r < R; ++r) {
+                    const CompiledInstance::Slot& sl = instances[r]->slots[slot];
+                    const float* xr = uniform ? cur : cur + r * in_block;
+                    float* yr = y.data() + r * out_block;
+                    tensor::gemm_serial(n, out, in, 1.0f, xr, in, sl.w.data(),
+                                        out, 0.0f, yr, out);
+                    if (step.epilogue) {
+                        for (std::int64_t i = 0; i < n; ++i) {
+                            float* row = yr + i * out;
+                            if (step.relu) {
+                                for (std::int64_t o = 0; o < out; ++o)
+                                    row[o] = std::max(row[o] + sl.b[o], 0.0f);
+                            } else {
+                                for (std::int64_t o = 0; o < out; ++o)
+                                    row[o] += sl.b[o];
+                            }
+                        }
+                    }
+                }
+                cur = y.data();
+                cur_arena = dst;
+                uniform = false;
+                cur_shape_.resize(2);
+                cur_shape_[0] = n;
+                cur_shape_[1] = out;
+                ++slot;
+                break;
+            }
+            case Step::Kind::kBatchNorm: {
+                check(cur_shape_.size() == 4,
+                      "InferenceEngine: BatchNorm expects NCHW input");
+                auto* bn = static_cast<BatchNorm2d*>(step.layer);
+                check(cur_shape_[1] == bn->channels(),
+                      "InferenceEngine: BatchNorm channel mismatch");
+                const std::int64_t n = cur_shape_[0], c = cur_shape_[1],
+                                   hw = cur_shape_[2] * cur_shape_[3];
+                const std::int64_t block = n * c * hw;
+                const int dst = dst_of(cur_arena);
+                Tensor& y = batch_arena_[dst];
+                y.reset(R, block);
+                for (std::int64_t ch = 0; ch < c; ++ch) {
+                    double sd, td;
+                    bn->inference_affine(ch, sd, td);
+                    const float s = static_cast<float>(sd);
+                    const float t = static_cast<float>(td);
+                    for (std::int64_t r = 0; r < R; ++r) {
+                        const float* src = cur + r * block;
+                        float* dp = y.data() + r * block;
+                        if (cn) {
+                            const float* px = src + ch * n * hw;
+                            float* py = dp + ch * n * hw;
+                            for (std::int64_t q = 0; q < n * hw; ++q)
+                                py[q] = s * px[q] + t;
+                            continue;
+                        }
+                        for (std::int64_t i = 0; i < n; ++i) {
+                            const float* px = src + (i * c + ch) * hw;
+                            float* py = dp + (i * c + ch) * hw;
+                            for (std::int64_t q = 0; q < hw; ++q)
+                                py[q] = s * px[q] + t;
+                        }
+                    }
+                }
+                cur = y.data();
+                cur_arena = dst;
+                break;
+            }
+            case Step::Kind::kReLU: {
+                // Once diverged the activation always lives in a batch
+                // arena: clamp all lanes in one pass, no buffer hop.
+                float* p = batch_arena_[cur_arena].data();
+                const std::int64_t numel = R * block_numel();
+                for (std::int64_t i = 0; i < numel; ++i)
+                    if (p[i] < 0.0f) p[i] = 0.0f;
+                break;
+            }
+            case Step::Kind::kMaxPool:
+            case Step::Kind::kAvgPool: {
+                check(cur_shape_.size() == 4,
+                      "InferenceEngine: pool expects NCHW input");
+                const std::int64_t n = cur_shape_[0], c = cur_shape_[1],
+                                   h = cur_shape_[2], w = cur_shape_[3];
+                const std::int64_t k = step.pool_kernel;
+                check(h % k == 0 && w % k == 0,
+                      "InferenceEngine: pool input not divisible by kernel");
+                const std::int64_t oh = h / k, ow = w / k;
+                const int dst = dst_of(cur_arena);
+                Tensor& y = batch_arena_[dst];
+                y.reset(R, c * n * oh * ow);
+                PoolCtx ctx;
+                ctx.x = cur;
+                ctx.y = y.data();
+                ctx.h = h;
+                ctx.w = w;
+                ctx.k = k;
+                ctx.oh = oh;
+                ctx.ow = ow;
+                ctx.is_max = step.kind == Step::Kind::kMaxPool;
+                // Lane blocks are contiguous and pooling is plane-local, so
+                // one dispatch over all R·n·c planes serves every lane.
+                util::parallel_for_workers(
+                    0, static_cast<std::size_t>(R * n * c), &pool_kernel, &ctx);
+                cur = y.data();
+                cur_arena = dst;
+                cur_shape_.resize(4);
+                cur_shape_[0] = n;
+                cur_shape_[1] = c;
+                cur_shape_[2] = oh;
+                cur_shape_[3] = ow;
+                break;
+            }
+            case Step::Kind::kFlatten: {
+                check(!cur_shape_.empty(),
+                      "InferenceEngine: flatten expects a batch dimension");
+                if (cn) to_batch_major_lanes();
+                const std::int64_t n = cur_shape_[0];
+                const std::int64_t numel = block_numel();
+                cur_shape_.resize(2);
+                cur_shape_[0] = n;
+                cur_shape_[1] = n > 0 ? numel / n : 0;
+                break;
+            }
+            case Step::Kind::kGeneric: {
+                // Correctness fallback: route each lane's block through the
+                // allocating Layer::forward (kGeneric allocates in the
+                // scalar path too).
+                if (cn) to_batch_major_lanes();
+                const std::int64_t in_block = block_numel();
+                Tensor in(cur_shape_);
+                const int dst = dst_of(cur_arena);
+                Tensor& y = batch_arena_[dst];
+                std::int64_t out_block = 0;
+                Shape out_shape;
+                for (std::int64_t r = 0; r < R; ++r) {
+                    std::memcpy(in.data(), cur + r * in_block,
+                                static_cast<std::size_t>(in_block) *
+                                    sizeof(float));
+                    const Tensor out =
+                        step.layer->forward(in, /*training=*/false);
+                    if (r == 0) {
+                        out_block = out.numel();
+                        out_shape = out.shape();
+                        y.reset(R, out_block);
+                    }
+                    std::memcpy(y.data() + r * out_block, out.data(),
+                                static_cast<std::size_t>(out_block) *
+                                    sizeof(float));
+                }
+                cur = y.data();
+                cur_arena = dst;
+                cur_shape_ = out_shape;
+                break;
+            }
+        }
     }
-    Tensor& out = arena_[cur_arena];
-    out.reset(cur_shape_);  // metadata-only: element count is unchanged
-    return out;
+
+    if (uniform) materialize_lanes();  // weightless model: identical lanes
+    if (cn) to_batch_major_lanes();
+    check(!cur_shape_.empty(),
+          "InferenceEngine::forward_batched: scalar output shape");
+    cur_shape_[0] *= R;  // lane-major stacking along the batch dimension
+    // Copy the stacked result out of the shared per-thread arena: the
+    // returned reference must survive other engines forwarding on this
+    // thread.
+    out_.reset(cur_shape_);
+    std::memcpy(out_.data(), cur,
+                static_cast<std::size_t>(out_.numel()) * sizeof(float));
+    return out_;
 }
 
 }  // namespace xs::nn

@@ -45,6 +45,22 @@ class BatchNorm2d;
 class Conv2d;
 class Linear;
 
+// One compiled weight set for an InferenceEngine: per mappable layer the
+// folded weights (BN composed in at compile time), folded bias, and — for
+// conv steps — the GEMM panel-packed A matrix. Instances are engine-shaped
+// but engine-independent storage, so the Monte-Carlo evaluator can hold R
+// degraded instances and run them all through one engine (forward_batched)
+// instead of refresh()ing between repeats. Storage is reused across
+// recompiles of the same model shape.
+struct CompiledInstance {
+    struct Slot {
+        Tensor w;  // folded weights: conv (Cout × patch), linear (in × out)
+        Tensor b;  // folded bias; empty when the step has no epilogue
+        tensor::PackedGemmA wpack;  // conv only: panel-packed w
+    };
+    std::vector<Slot> slots;  // ordered like map::mappable_layers(model)
+};
+
 class InferenceEngine {
 public:
     // Compiles the plan and folds the current parameters (refresh()).
@@ -70,11 +86,37 @@ public:
     void refresh(const std::vector<const tensor::Tensor*>& mac_overrides);
 
     // Eval-mode forward. The returned reference points at an engine-owned
-    // arena buffer and stays valid until the next forward call.
+    // buffer and stays valid until the next forward call on this engine.
     const Tensor& forward(const Tensor& x);
     // Zero-copy variant reading the batch straight from caller storage
     // (e.g. a contiguous slice of a dataset tensor).
     const Tensor& forward(const float* x, const tensor::Shape& shape);
+
+    // Compile one mappable layer's folded weight set into `out` (slot
+    // storage reused when already shaped). `mac_override` follows the same
+    // contract as refresh(): a (inputs × outputs) MAC matrix, or null for
+    // the layer's own parameters. Folding runs in double and the conv pack
+    // is rebuilt, exactly like refresh_step — an instance compiled from the
+    // same MAC matrices is bit-identical to a refresh()ed engine.
+    void compile_instance_slot(std::size_t slot,
+                               const tensor::Tensor* mac_override,
+                               CompiledInstance& out) const;
+    // All slots at once; `mac_overrides` empty means model parameters.
+    void compile_instance(
+        const std::vector<const tensor::Tensor*>& mac_overrides,
+        CompiledInstance& out) const;
+
+    // Evaluate `count` compiled instances over ONE input batch in a single
+    // pass: lanes share the input (and the first conv's im2col pack) and
+    // produce a lane-major stacked output — rows [r·n, (r+1)·n) are
+    // instance r's result, bit-identical to refresh()+forward() per lane.
+    // The returned reference points at an engine-owned buffer and stays
+    // valid until the next forward/forward_batched call on this engine.
+    // Steady state performs no heap allocation (kGeneric fallback steps
+    // excepted).
+    const Tensor& forward_batched(const float* x, const tensor::Shape& shape,
+                                  const CompiledInstance* const* instances,
+                                  std::size_t count);
 
     // Number of mappable layers the plan found (refresh override slots).
     std::size_t mappable_count() const { return mappable_count_; }
@@ -109,16 +151,27 @@ private:
     };
 
     void build_plan(Sequential& model);
+    // Shared folding kernel: refresh_step writes into the step's own
+    // buffers, compile_instance_slot into an instance slot.
+    void fold_step(const Step& step, const Tensor* mac_override, Tensor& w,
+                   Tensor& b, tensor::PackedGemmA& wpack) const;
     void refresh_step(Step& step, const Tensor* mac_override);
 
     const Tensor& run(const float* x, const tensor::Shape& shape);
 
     std::vector<Step> steps_;
+    std::vector<std::size_t> mappable_steps_;  // steps_ indices of mappables
     std::size_t mappable_count_ = 0;
-    Tensor arena_[2];             // ping-pong activation buffers
-    std::vector<float> packedb_;  // packed im2col panels, grown once and
-                                  // reused across layers/batches/refreshes
-    tensor::Shape cur_shape_;     // logical NCHW shape of the current buffer
+    // Activation ping-pong buffers and the packed im2col panel store live in
+    // a per-thread scratch arena shared by every engine on the thread (see
+    // engine_scratch() in infer.cpp): evaluators build a fresh engine per
+    // Monte-Carlo evaluation, and per-engine buffers would hand their multi-MB
+    // allocations back to the OS each time — repaying page faults and zero
+    // fills on every eval. Only the final output is engine-owned (out_), so
+    // the documented "valid until the next forward on this engine" contract
+    // survives other engines running on the same thread in between.
+    Tensor out_;               // last forward's output (engine-owned copy)
+    tensor::Shape cur_shape_;  // logical NCHW shape of the current buffer
 };
 
 }  // namespace xs::nn

@@ -74,9 +74,20 @@ CellResult run_sweep_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
     eval.xbar.parasitics.r_sense *= cell.parasitic_scale;
     eval.faults.p_stuck_min = cell.faults.p_stuck_min;
     eval.faults.p_stuck_max = cell.faults.p_stuck_max;
+    if (cell.quant_levels > 0) eval.conductance_levels = cell.quant_levels;
+    eval.compensate_columns = cell.mitigation.compensate;
     eval.repeats = 1;  // the Monte-Carlo axis lives in the grid
     eval.seed = cell_seed(ctx.seed(), cell);
     eval.warm_start_solves = spec.warm_start_solves;
+    // One cell is one Monte-Carlo draw, but it still rides the compiled-
+    // instance path: a single-lane batched evaluation degrades through the
+    // scalar solver chain (the batch stage falls back below two lanes) and
+    // is bit-identical to the sequential path — pinned by the repeat-batch
+    // determinism tests — so supervisor and service workers, which execute
+    // cells one at a time, stay byte-comparable with batched in-process
+    // runs while sharing the pre-packed GEMM instances and the
+    // degrade/forward overlap.
+    eval.repeat_batch = true;
 
     core::EvalResult r;
     {
@@ -106,6 +117,82 @@ CellResult run_sweep_cell(core::ExperimentContext& ctx, const SweepSpec& spec,
     out.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+    return out;
+}
+
+// Execute one grid point's repeats in a single lane-batched evaluation. The
+// cells share every axis except the repeat index, so one EvalConfig (built
+// from the head cell exactly like run_sweep_cell builds it) serves the whole
+// group; only the per-repeat seeds differ, and those reach the evaluator as
+// an explicit seed list — the same cell_seed values the sequential path
+// would use, so cold-start lanes reproduce run_sweep_cell bit for bit.
+std::vector<CellResult> run_sweep_group(
+    core::ExperimentContext& ctx, const SweepSpec& spec,
+    const std::vector<const SweepCell*>& cells) {
+    tensor::check(!cells.empty(), "run_sweep_group: empty cell group");
+    tensor::check(!spec.nf_only,
+                  "run_sweep_group: nf-only sweeps have no inference pass to "
+                  "batch; use run_sweep_cell");
+    const std::size_t lanes = cells.size();
+    XS_TIMER_NS("sweep.cell.ns");
+    XS_TRACE_SPAN("cell_group");
+    XS_COUNT("sweep.cells.executed", static_cast<std::uint64_t>(lanes));
+    const auto t0 = std::chrono::steady_clock::now();
+    const SweepCell& head = *cells.front();
+    const core::ModelSpec model_spec =
+        ctx.spec(head.variant, head.num_classes, head.prune.method,
+                 head.prune.sparsity, head.mitigation.wct);
+    core::PreparedModel& model = [&]() -> core::PreparedModel& {
+        XS_TIMER_NS("sweep.phase.prepare.ns");
+        XS_TRACE_SPAN("cell.prepare");
+        return ctx.prepared(model_spec);
+    }();
+
+    core::EvalConfig eval = ctx.eval_config(model, head.prune.method,
+                                            head.xbar_size,
+                                            head.mitigation.rearrange);
+    eval.backend = head.backend;
+    eval.xbar.device.sigma_variation = head.sigma;
+    eval.xbar.parasitics.r_driver *= head.parasitic_scale;
+    eval.xbar.parasitics.r_wire_row *= head.parasitic_scale;
+    eval.xbar.parasitics.r_wire_col *= head.parasitic_scale;
+    eval.xbar.parasitics.r_sense *= head.parasitic_scale;
+    eval.faults.p_stuck_min = head.faults.p_stuck_min;
+    eval.faults.p_stuck_max = head.faults.p_stuck_max;
+    if (head.quant_levels > 0) eval.conductance_levels = head.quant_levels;
+    eval.compensate_columns = head.mitigation.compensate;
+    eval.warm_start_solves = spec.warm_start_solves;
+
+    std::vector<std::uint64_t> seeds(lanes);
+    for (std::size_t r = 0; r < lanes; ++r)
+        seeds[r] = cell_seed(ctx.seed(), *cells[r]);
+
+    std::vector<core::EvalResult> per;
+    {
+        XS_TIMER_NS("sweep.phase.eval.ns");
+        XS_TRACE_SPAN("cell.eval");
+        const data::TrainTest& tt = ctx.dataset(head.num_classes);
+        per = core::evaluate_repeats_on_crossbars(model.model, tt.test, eval,
+                                                  seeds);
+    }
+    const map::EnergyReport energy = map::estimate_energy(
+        model.model, head.prune.method, eval.xbar, map::EnergyConfig{});
+
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count() /
+                           static_cast<double>(lanes);
+    std::vector<CellResult> out(lanes);
+    for (std::size_t r = 0; r < lanes; ++r) {
+        out[r].backend = xbar::backend_name(head.backend);
+        out[r].accuracy = per[r].accuracy;
+        out[r].nf_mean = per[r].nf_mean;
+        out[r].energy_pj = energy.total_energy_pj();
+        out[r].software_acc = model.software_accuracy;
+        out[r].tiles = per[r].total_tiles;
+        out[r].solver_failures = per[r].unconverged_tiles;
+        out[r].wall_ms = wall_ms;
+    }
     return out;
 }
 
@@ -298,8 +385,8 @@ SweepSummary SweepRunner::run() {
             ctx_.prepared(ms);
     }
 
-    // Shard phase: shard s owns pending indices s, s+shards, s+2·shards, …
-    // — an assignment that depends only on expansion order. Exceptions are
+    // Shard phase: shard s owns work units s, s+shards, s+2·shards, … — an
+    // assignment that depends only on expansion order. Exceptions are
     // collected per shard and rethrown after the dispatch (an exception
     // escaping into the pool would terminate the process).
     const std::size_t nshards =
@@ -338,30 +425,77 @@ SweepSummary SweepRunner::run() {
                  ? util::fmt(static_cast<double>(remaining) / rate, 0) + " s"
                  : "--"));
     };
+    // Work units: a unit is either one cell or a contiguous run of pending
+    // cells from the same repeat group, executed as one lane-batched
+    // evaluation (run_sweep_group). Repeat is the innermost expansion axis,
+    // so group membership is index / repeats. Cold-start lanes are
+    // bit-identical to per-cell execution, which keeps the aggregate CSV
+    // independent of the batching mode; warm-start sweeps chain solves
+    // differently per lane and nf-only sweeps have no inference pass, so
+    // both fall back to singleton units. Units (not cells) are dealt
+    // round-robin — with batching off every unit is one cell and the
+    // assignment reduces to the historical cell deal.
+    const bool batch_groups = opts_.repeat_batch && !spec_.nf_only &&
+                              !spec_.warm_start_solves && spec_.repeats > 1;
+    struct Unit {
+        std::size_t begin = 0;  // index into `pending`
+        std::size_t count = 0;
+    };
+    std::vector<Unit> units;
+    units.reserve(pending.size());
+    for (std::size_t p = 0; p < pending.size();) {
+        std::size_t q = p + 1;
+        if (batch_groups) {
+            const std::size_t group =
+                pending[p] / static_cast<std::size_t>(spec_.repeats);
+            while (q < pending.size() &&
+                   pending[q] / static_cast<std::size_t>(spec_.repeats) ==
+                       group)
+                ++q;
+        }
+        units.push_back(Unit{p, q - p});
+        p = q;
+    }
+    // Shared per-cell bookkeeping, identical on both execution paths.
+    const auto record_one = [&](std::size_t p, CellResult&& result) {
+        const SweepCell& cell = cells[pending[p]];
+        executed[p] = std::move(result);
+        manifest.record(cell.id(), executed[p]);
+        XS_COUNT("sweep.cells.done", 1);
+        const std::int64_t n = ++completed;
+        maybe_heartbeat(n);
+        util::log_info("sweep cell " + std::to_string(n) + "/" +
+                       std::to_string(pending.size()) + " " + cell.id() +
+                       ": acc " + util::fmt(executed[p].accuracy) + "% (" +
+                       util::fmt(executed[p].wall_ms, 0) + " ms)");
+        if (opts_.cell_budget_ms > 0.0 &&
+            executed[p].wall_ms > opts_.cell_budget_ms) {
+            ++over_budget;
+            util::log_warn("sweep cell " + cell.id() + " over budget: " +
+                           util::fmt(executed[p].wall_ms, 0) + " ms > " +
+                           util::fmt(opts_.cell_budget_ms, 0) + " ms");
+        }
+    };
     util::parallel_for_workers(
         0, nshards, [&](std::size_t, std::size_t lo, std::size_t hi) {
             for (std::size_t s = lo; s < hi; ++s) {
                 try {
-                    for (std::size_t p = s; p < pending.size(); p += nshards) {
-                        const SweepCell& cell = cells[pending[p]];
-                        executed[p] = run_sweep_cell(ctx_, spec_, cell);
-                        manifest.record(cell.id(), executed[p]);
-                        XS_COUNT("sweep.cells.done", 1);
-                        const std::int64_t n = ++completed;
-                        maybe_heartbeat(n);
-                        util::log_info(
-                            "sweep cell " + std::to_string(n) + "/" +
-                            std::to_string(pending.size()) + " " + cell.id() +
-                            ": acc " + util::fmt(executed[p].accuracy) + "% (" +
-                            util::fmt(executed[p].wall_ms, 0) + " ms)");
-                        if (opts_.cell_budget_ms > 0.0 &&
-                            executed[p].wall_ms > opts_.cell_budget_ms) {
-                            ++over_budget;
-                            util::log_warn(
-                                "sweep cell " + cell.id() + " over budget: " +
-                                util::fmt(executed[p].wall_ms, 0) + " ms > " +
-                                util::fmt(opts_.cell_budget_ms, 0) + " ms");
+                    for (std::size_t u = s; u < units.size(); u += nshards) {
+                        const Unit unit = units[u];
+                        if (unit.count == 1) {
+                            record_one(unit.begin,
+                                       run_sweep_cell(ctx_, spec_,
+                                                      cells[pending[unit.begin]]));
+                            continue;
                         }
+                        std::vector<const SweepCell*> group(unit.count);
+                        for (std::size_t i = 0; i < unit.count; ++i)
+                            group[i] = &cells[pending[unit.begin + i]];
+                        std::vector<CellResult> results_batch =
+                            run_sweep_group(ctx_, spec_, group);
+                        for (std::size_t i = 0; i < unit.count; ++i)
+                            record_one(unit.begin + i,
+                                       std::move(results_batch[i]));
                     }
                 } catch (...) {
                     errors[s] = std::current_exception();
@@ -473,6 +607,8 @@ std::string dry_run_report(const core::ExperimentContext& ctx,
     join("faults", spec.faults, [](const FaultSetting& f) {
         return fmt_g(f.p_stuck_min) + ":" + fmt_g(f.p_stuck_max);
     });
+    join("quant-levels", spec.quant_levels,
+         [](std::int64_t v) { return std::to_string(v); });
     join("backends", spec.backends, [](xbar::BackendKind b) {
         return std::string(xbar::backend_name(b));
     });

@@ -56,6 +56,8 @@ Mitigation parse_mitigation(const std::string& name) {
             m.wct = true;
         } else if (part == "rearrange" || part == "r") {
             m.rearrange = true;
+        } else if (part == "comp" || part == "compensate") {
+            m.compensate = true;
         } else {
             tensor::check(false, "sweep: unknown mitigation '" + name + "'");
         }
@@ -87,10 +89,15 @@ FaultSetting parse_fault(const std::string& text) {
 }  // namespace
 
 std::string Mitigation::name() const {
-    if (wct && rearrange) return "wct+rearrange";
-    if (wct) return "wct";
-    if (rearrange) return "rearrange";
-    return "none";
+    std::string out;
+    const auto add = [&out](const char* part) {
+        if (!out.empty()) out += '+';
+        out += part;
+    };
+    if (wct) add("wct");
+    if (rearrange) add("rearrange");
+    if (compensate) add("comp");
+    return out.empty() ? "none" : out;
 }
 
 namespace {
@@ -116,6 +123,11 @@ std::string cell_label(const SweepCell& cell, bool with_size,
         cell.faults.p_stuck_max != defaults.faults.p_stuck_max)
         os << "/f" << fmt_g(cell.faults.p_stuck_min) << ":"
            << fmt_g(cell.faults.p_stuck_max);
+    // Like the backend below, the continuous-write default is elided even
+    // from group_id(): manifests recorded before the quantization axis
+    // existed keep their ids and still resume.
+    if (cell.quant_levels != defaults.quant_levels)
+        os << "/q" << cell.quant_levels;
     // Unlike the other axes the default backend is elided even from
     // group_id(): circuit cells keep their pre-backend-axis ids, so
     // manifests recorded before the axis existed still resume.
@@ -150,21 +162,23 @@ std::vector<SweepCell> SweepSpec::expand() const {
                         for (const auto sigma : sigmas)
                             for (const auto scale : parasitic_scales)
                                 for (const auto& fault : faults)
-                                    for (const auto backend : backends)
-                                        for (std::int64_t r = 0; r < repeats; ++r) {
-                                            SweepCell c;
-                                            c.variant = variant;
-                                            c.num_classes = classes;
-                                            c.prune = prune;
-                                            c.mitigation = mitigation;
-                                            c.xbar_size = size;
-                                            c.sigma = sigma;
-                                            c.parasitic_scale = scale;
-                                            c.faults = fault;
-                                            c.backend = backend;
-                                            c.repeat = r;
-                                            cells.push_back(std::move(c));
-                                        }
+                                    for (const auto quant : quant_levels)
+                                        for (const auto backend : backends)
+                                            for (std::int64_t r = 0; r < repeats; ++r) {
+                                                SweepCell c;
+                                                c.variant = variant;
+                                                c.num_classes = classes;
+                                                c.prune = prune;
+                                                c.mitigation = mitigation;
+                                                c.xbar_size = size;
+                                                c.sigma = sigma;
+                                                c.parasitic_scale = scale;
+                                                c.faults = fault;
+                                                c.quant_levels = quant;
+                                                c.backend = backend;
+                                                c.repeat = r;
+                                                cells.push_back(std::move(c));
+                                            }
     return cells;
 }
 
@@ -181,13 +195,14 @@ std::string SweepSpec::describe() const {
     axis("sigmas", sigmas.size());
     axis("parasitic-scales", parasitic_scales.size());
     axis("faults", faults.size());
+    axis("quant-levels", quant_levels.size());
     axis("backends", backends.size());
     if (nf_only) os << "nf-only ";
     os << "repeats=" << repeats << " -> "
        << variants.size() * class_counts.size() * prunes.size() *
               mitigations.size() * sizes.size() * sigmas.size() *
-              parasitic_scales.size() * faults.size() * backends.size() *
-              static_cast<std::size_t>(repeats)
+              parasitic_scales.size() * faults.size() * quant_levels.size() *
+              backends.size() * static_cast<std::size_t>(repeats)
        << " cells";
     return os.str();
 }
@@ -218,7 +233,8 @@ SweepSpec parse_sweep_spec(const util::Flags& flags) {
     static const std::set<std::string> known = {
         "variants", "classes",          "prune",      "mitigations",
         "sizes",    "sigmas",           "faults",     "parasitic-scales",
-        "backends", "sweep-repeats",    "warm-start", "nf-only"};
+        "quant-levels", "backends",     "sweep-repeats", "warm-start",
+        "nf-only"};
     for (const auto& [key, unused] : file) {
         (void)unused;
         tensor::check(known.count(key) != 0,
@@ -267,6 +283,11 @@ SweepSpec parse_sweep_spec(const util::Flags& flags) {
         spec.faults.clear();
         for (const auto& item : split(v, ','))
             spec.faults.push_back(parse_fault(item));
+    }
+    if (const auto v = value("quant-levels"); !v.empty()) {
+        spec.quant_levels.clear();
+        for (const auto& item : split(v, ','))
+            spec.quant_levels.push_back(parse_int(item));
     }
     if (const auto v = value("backends"); !v.empty()) {
         spec.backends.clear();

@@ -21,13 +21,17 @@
 
 namespace xs::sweep {
 
-// One mitigation setting (paper §VI): weight-clipping training and/or
-// crossbar-column rearrangement, independently toggleable.
+// One mitigation setting (paper §VI): weight-clipping training, crossbar-
+// column rearrangement, and/or the [12]-style IR-drop column-compensation
+// baseline, independently toggleable.
 struct Mitigation {
     bool wct = false;
     bool rearrange = false;
+    bool compensate = false;
 
-    // "none", "rearrange", "wct", "wct+rearrange" — also the parse syntax.
+    // "none" or the active toggles joined by '+' in wct/rearrange/comp
+    // order (e.g. "wct+rearrange", "rearrange+comp") — also the parse
+    // syntax.
     std::string name() const;
 };
 
@@ -51,6 +55,9 @@ struct SweepCell {
     double sigma = 0.10;
     double parasitic_scale = 1.0;
     FaultSetting faults;
+    // Conductance write-quantization levels; 0 = continuous writes (keep
+    // whatever the experiment context's evaluation default is).
+    std::int64_t quant_levels = 0;
     xbar::BackendKind backend = xbar::BackendKind::kCircuit;
     std::int64_t repeat = 0;
 
@@ -78,6 +85,9 @@ struct SweepSpec {
     std::vector<double> sigmas = {0.10};
     std::vector<double> parasitic_scales = {1.0};
     std::vector<FaultSetting> faults = {{}};
+    // Write-quantization axis (ablation bench): conductance level counts,
+    // 0 = continuous.
+    std::vector<std::int64_t> quant_levels = {0};
     // Crossbar evaluation backends (xbar/backend.h): circuit / fast / ideal.
     std::vector<xbar::BackendKind> backends = {xbar::BackendKind::kCircuit};
     // Monte-Carlo repeats; expanded as the innermost axis so one group's
@@ -108,10 +118,10 @@ std::map<std::string, std::string> read_spec_file(const std::string& path);
 // Resolve the sweep axes from `flags`, overlaid on --spec=<file> when given.
 // Axis keys (CLI flag == spec-file key):
 //   variants=vgg11,vgg16       classes=10,100
-//   prune=none,cf:0.8,xcs:0.8  mitigations=none,rearrange,wct,wct+rearrange
+//   prune=none,cf:0.8,xcs:0.8  mitigations=none,rearrange,wct,comp,wct+r
 //   sizes=16,32,64             sigmas=0.10
 //   parasitic-scales=1.0       faults=0:0,0.01:0.001   (SA0:SA1)
-//   backends=circuit,fast,ideal
+//   quant-levels=0,64,16       backends=circuit,fast,ideal
 //   sweep-repeats=2            warm-start=false
 //   nf-only=false
 SweepSpec parse_sweep_spec(const util::Flags& flags);

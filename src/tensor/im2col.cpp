@@ -2,6 +2,7 @@
 
 #include "tensor/gemm.h"
 
+#include <cstdint>
 #include <algorithm>
 #include <cstring>
 
@@ -115,6 +116,168 @@ void im2col_pack_b(const float* x, std::int64_t n_imgs, std::int64_t channels,
             lane += len;
         }
         const std::int64_t lane_end = lane;  // zero tail beyond this
+
+        // --- stride-1 fast paths -------------------------------------------
+        // The patch-row sweep repeats the same copy geometry for every
+        // channel, so the per-(ki, kj) bounds work is hoisted into a plan
+        // built ONCE per panel and replayed `channels` times with only the
+        // source base changing. Two variants:
+        //  · merged: channel-major input ("same" conv: out == in spatial
+        //    dims) makes the panel's lanes one contiguous input span per
+        //    channel — each patch row is a single shifted kPackNr-float copy
+        //    plus a precomputed boundary zero-mask.
+        //  · ops: otherwise each (run × patch row) becomes one precomputed
+        //    {zero-pre, copy, zero-post} op.
+        if (stride == 1 && kh * kw <= 16) {
+            const std::int64_t kk = kh * kw;
+            std::int64_t p = 0, pc = 0, kc = std::min(kPackKc, k);
+            float* dst = block + jp * kc * kPackNr;
+            if (stride_img == height * width && out_h == height &&
+                out_w == width) {
+                // Merged plan: src_off may be negative or past the channel
+                // plane at the array edges; [lo, hi) clamps the copy to valid
+                // input and the mask re-zeroes every lane the copy skipped
+                // or that reads across a row/image boundary.
+                struct MergedRow {
+                    std::int64_t src_off, lo, hi;
+                    std::uint32_t mask;
+                };
+                MergedRow rows[16];
+                const std::int64_t plane = n_imgs * height * width;
+                for (std::int64_t ki = 0; ki < kh; ++ki) {
+                    for (std::int64_t kj = 0; kj < kw; ++kj) {
+                        MergedRow& row = rows[ki * kw + kj];
+                        std::uint32_t mask = 0;
+                        for (std::int64_t r = 0; r < n_runs; ++r) {
+                            const Run& run = runs[r];
+                            const std::int64_t ii = run.oi - pad + ki;
+                            if (ii < 0 || ii >= height) {
+                                for (std::int64_t i = 0; i < run.len; ++i)
+                                    mask |= 1u << (run.lane + i);
+                                continue;
+                            }
+                            const std::int64_t jj0 = run.oj - pad + kj;
+                            for (std::int64_t i = 0; i < run.len; ++i)
+                                if (jj0 + i < 0 || jj0 + i >= width)
+                                    mask |= 1u << (run.lane + i);
+                        }
+                        const std::int64_t off =
+                            jb + (ki - pad) * width + (kj - pad);
+                        const std::int64_t lo =
+                            std::min(lane_end, std::max<std::int64_t>(0, -off));
+                        const std::int64_t hi =
+                            std::max(lo, std::min(lane_end, plane - off));
+                        for (std::int64_t l = 0; l < lo; ++l) mask |= 1u << l;
+                        for (std::int64_t l = hi; l < lane_end; ++l)
+                            mask |= 1u << l;
+                        row.src_off = off;
+                        row.lo = lo;
+                        row.hi = hi;
+                        row.mask = mask;
+                    }
+                }
+                for (std::int64_t c = 0; c < channels; ++c) {
+                    const float* xc = x + c * stride_c;
+                    for (std::int64_t q = 0; q < kk; ++q, ++p) {
+                        if (p == pc + kc) {
+                            pc += kc;
+                            kc = std::min(kPackKc, k - pc);
+                            dst = block + blk_panels * pc * kPackNr +
+                                  jp * kc * kPackNr;
+                        }
+                        const MergedRow& row = rows[q];
+                        if (row.lo == 0 && row.hi == kPackNr) {
+                            std::memcpy(dst, xc + row.src_off,
+                                        kPackNr * sizeof(float));
+                        } else if (row.hi > row.lo) {
+                            std::memcpy(dst + row.lo,
+                                        xc + row.src_off + row.lo,
+                                        static_cast<std::size_t>(row.hi -
+                                                                 row.lo) *
+                                            sizeof(float));
+                        }
+                        for (std::uint32_t m = row.mask; m != 0; m &= m - 1)
+                            dst[__builtin_ctz(m)] = 0.0f;
+                        for (std::int64_t l = lane_end; l < kPackNr; ++l)
+                            dst[l] = 0.0f;
+                        dst += kPackNr;
+                    }
+                }
+                continue;
+            }
+            // Op plan: `base` folds the run's image origin and the row/col
+            // shift; only the channel offset is added per replay.
+            struct PackOp {
+                const float* base;
+                std::uint8_t dst, pre, len, post;
+            };
+            PackOp ops[16 * 16];
+            std::int64_t row_start[17];
+            std::int64_t n_ops = 0;
+            for (std::int64_t ki = 0; ki < kh; ++ki) {
+                for (std::int64_t kj = 0; kj < kw; ++kj) {
+                    row_start[ki * kw + kj] = n_ops;
+                    for (std::int64_t r = 0; r < n_runs; ++r) {
+                        const Run& run = runs[r];
+                        PackOp& op = ops[n_ops++];
+                        op.dst = static_cast<std::uint8_t>(run.lane);
+                        const std::int64_t ii = run.oi - pad + ki;
+                        if (ii < 0 || ii >= height) {
+                            op.base = run.img_base;  // unused (len 0)
+                            op.pre = static_cast<std::uint8_t>(run.len);
+                            op.len = 0;
+                            op.post = 0;
+                            continue;
+                        }
+                        const std::int64_t jj0 = run.oj - pad + kj;
+                        const std::int64_t lo = std::min(
+                            run.len, std::max<std::int64_t>(0, -jj0));
+                        const std::int64_t hi =
+                            std::max(lo, std::min(run.len, width - jj0));
+                        op.base = run.img_base + ii * width + jj0 + lo;
+                        op.pre = static_cast<std::uint8_t>(lo);
+                        op.len = static_cast<std::uint8_t>(hi - lo);
+                        op.post = static_cast<std::uint8_t>(run.len - hi);
+                    }
+                }
+            }
+            row_start[kk] = n_ops;
+            for (std::int64_t c = 0; c < channels; ++c) {
+                const std::int64_t c_off = c * stride_c;
+                for (std::int64_t q = 0; q < kk; ++q, ++p) {
+                    if (p == pc + kc) {
+                        pc += kc;
+                        kc = std::min(kPackKc, k - pc);
+                        dst = block + blk_panels * pc * kPackNr +
+                              jp * kc * kPackNr;
+                    }
+                    for (std::int64_t o = row_start[q]; o < row_start[q + 1];
+                         ++o) {
+                        const PackOp& op = ops[o];
+                        float* out = dst + op.dst;
+                        for (std::int64_t i = 0; i < op.pre; ++i)
+                            out[i] = 0.0f;
+                        out += op.pre;
+                        if (op.len == kPackNr) {
+                            std::memcpy(out, op.base + c_off,
+                                        kPackNr * sizeof(float));
+                        } else {
+                            const float* src = op.base + c_off;
+                            for (std::int64_t i = 0; i < op.len; ++i)
+                                out[i] = src[i];
+                        }
+                        out += op.len;
+                        for (std::int64_t i = 0; i < op.post; ++i)
+                            out[i] = 0.0f;
+                    }
+                    for (std::int64_t l = lane_end; l < kPackNr; ++l)
+                        dst[l] = 0.0f;
+                    dst += kPackNr;
+                }
+            }
+            continue;
+        }
+        // -------------------------------------------------------------------
 
         std::int64_t p = 0;  // row index (c, ki, kj)
         std::int64_t pc = 0, kc = std::min(kPackKc, k);

@@ -66,6 +66,39 @@ const ZigguratTables& zig() {
     return tables;
 }
 
+// Ziggurat slow path (tail / wedge) against an arbitrary u64 source, so the
+// serial and block entry points share one implementation — any divergence
+// would silently break the bit-compatibility contract between them.
+// Returns NaN to signal "redraw".
+template <class Pop>
+double slow_path_pop(const ZigguratTables& t, Pop&& pop, double x,
+                     std::size_t layer) {
+    const auto uni = [&]() {
+        return static_cast<double>(pop() >> 11) * 0x1.0p-53;
+    };
+    if (layer == 0) {
+        // Tail beyond R (Marsaglia's exact exponential-rejection method).
+        double xt, yt;
+        do {
+            double u1;
+            do {
+                u1 = uni();
+            } while (u1 <= 1e-300);
+            double u2;
+            do {
+                u2 = uni();
+            } while (u2 <= 1e-300);
+            xt = -std::log(u1) / kZigR;
+            yt = -std::log(u2);
+        } while (yt + yt < xt * xt);
+        return x > 0 ? kZigR + xt : -(kZigR + xt);
+    }
+    // Wedge between the layer's rectangle and the density curve.
+    const double fx = std::exp(-0.5 * x * x);
+    if (t.f[layer] + uni() * (t.f[layer - 1] - t.f[layer]) < fx) return x;
+    return std::numeric_limits<double>::quiet_NaN();  // redraw
+}
+
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
@@ -108,28 +141,63 @@ double Rng::normal() {
 }
 
 double Rng::normal_slow_path(double x, std::size_t layer) {
+    return slow_path_pop(zig(), [this]() { return next_u64(); }, x, layer);
+}
+
+void Rng::normal_fill(double* out, std::size_t count) {
     const ZigguratTables& t = zig();
-    if (layer == 0) {
-        // Tail beyond R (Marsaglia's exact exponential-rejection method).
-        double xt, yt;
-        do {
-            double u1;
-            do {
-                u1 = uniform();
-            } while (u1 <= 1e-300);
-            double u2;
-            do {
-                u2 = uniform();
-            } while (u2 <= 1e-300);
-            xt = -std::log(u1) / kZigR;
-            yt = -std::log(u2);
-        } while (yt + yt < xt * xt);
-        return x > 0 ? kZigR + xt : -(kZigR + xt);
+    constexpr int B = 16;
+    std::uint64_t u[B];
+    double x[B];
+    bool ok[B];
+    std::size_t i = 0;
+    while (i < count) {
+        if (count - i < static_cast<std::size_t>(B)) {
+            out[i++] = normal();  // short tail: plain serial draws
+            continue;
+        }
+        for (int b = 0; b < B; ++b) u[b] = next_u64();
+        bool all = true;
+        for (int b = 0; b < B; ++b) {
+            const std::size_t layer = static_cast<std::size_t>(u[b] & 127);
+            const std::int64_t m = static_cast<std::int64_t>(u[b] >> 12) -
+                                   static_cast<std::int64_t>(kZigM);
+            x[b] = static_cast<double>(m) * t.w[layer];
+            ok[b] = static_cast<double>(std::llabs(m)) < t.k[layer];
+            all = all && ok[b];
+        }
+        if (all) {
+            for (int b = 0; b < B; ++b) out[i + b] = x[b];
+            i += B;
+            continue;
+        }
+        // A draw in this block needs the slow path. The buffer holds exactly
+        // the next B stream values, so replaying them front-to-back — with
+        // the slow path's extra uniforms pulled from the same FIFO (then the
+        // live stream once it drains) — consumes every stream position in
+        // the same order as B serial normal() calls: identical bits.
+        int pos = 0;
+        const auto pop = [&]() {
+            return pos < B ? u[pos++] : next_u64();
+        };
+        while (pos < B && i < count) {
+            double r;
+            for (;;) {
+                const std::uint64_t uu = pop();
+                const std::size_t layer = static_cast<std::size_t>(uu & 127);
+                const std::int64_t m = static_cast<std::int64_t>(uu >> 12) -
+                                       static_cast<std::int64_t>(kZigM);
+                const double xx = static_cast<double>(m) * t.w[layer];
+                if (static_cast<double>(std::llabs(m)) < t.k[layer]) {
+                    r = xx;
+                    break;
+                }
+                r = slow_path_pop(t, pop, xx, layer);
+                if (r == r) break;  // NaN signals "redraw"
+            }
+            out[i++] = r;
+        }
     }
-    // Wedge between the layer's rectangle and the density curve.
-    const double fx = std::exp(-0.5 * x * x);
-    if (t.f[layer] + uniform() * (t.f[layer - 1] - t.f[layer]) < fx) return x;
-    return std::numeric_limits<double>::quiet_NaN();  // redraw
 }
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {

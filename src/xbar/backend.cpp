@@ -40,6 +40,14 @@ void CircuitBackend::degrade(const Tensor& g, DegradeWorkspace& ws,
     degrade_tile(g, solver_, ws, out);
 }
 
+void CircuitBackend::degrade_batch(const Tensor* const* g, int lanes,
+                                   BatchedDegradeWorkspace& ws,
+                                   TileDegradeResult* const* out) const {
+    XS_COUNT("xbar.circuit.tiles", static_cast<std::uint64_t>(lanes));
+    if (!warm_start_) ws.solve.invalidate();
+    degrade_tile_batched(g, lanes, solver_, ws, out);
+}
+
 namespace {
 
 // Process-wide registry of calibration caches, keyed by every parameter the

@@ -12,9 +12,21 @@ void apply_variation(Tensor& g, const DeviceConfig& device, util::Rng& rng) {
     const float lo = static_cast<float>(device.g_min() * 0.5);
     const float hi = static_cast<float>(device.g_max() * 2.0);
     float* p = g.data();
-    for (std::int64_t i = 0; i < g.numel(); ++i) {
-        const double eps = rng.normal(0.0, device.sigma_variation);
-        p[i] = std::clamp(static_cast<float>(p[i] * (1.0 + eps)), lo, hi);
+    // Standard-normal draws in blocks (identical stream to per-element
+    // rng.normal calls), scaled exactly as normal(0, σ) = σ·normal() so the
+    // per-element arithmetic is unchanged. The draw buffer keeps the RNG out
+    // of the clamp loop's dependency chain; 1024 doubles covers a full
+    // 32×32 tile in one fill.
+    constexpr std::int64_t kChunk = 1024;
+    double eps[kChunk];
+    for (std::int64_t start = 0; start < g.numel(); start += kChunk) {
+        const std::int64_t c = std::min(kChunk, g.numel() - start);
+        rng.normal_fill(eps, static_cast<std::size_t>(c));
+        for (std::int64_t i = 0; i < c; ++i) {
+            const double e = device.sigma_variation * eps[i];
+            p[start + i] = std::clamp(
+                static_cast<float>(p[start + i] * (1.0 + e)), lo, hi);
+        }
     }
 }
 
@@ -64,6 +76,79 @@ void degrade_tile(const Tensor& g, const CircuitSolver& solver,
         ++nf_count;
     }
     out.nf = nf_count ? nf_sum / static_cast<double>(nf_count) : 0.0;
+}
+
+void degrade_tile_batched(const Tensor* const* g, int lanes,
+                          const CircuitSolver& solver,
+                          BatchedDegradeWorkspace& ws,
+                          TileDegradeResult* const* out) {
+    const CrossbarConfig& config = solver.config();
+    const std::int64_t n = config.size;
+    const double v_nom = config.parasitics.v_nom;
+    ws.v_in.assign(static_cast<std::size_t>(n), v_nom);
+    ws.ideal.resize(static_cast<std::size_t>(n));
+
+    bool was_warm[kMaxSolveLanes] = {};
+    for (int r = 0; r < lanes; ++r)
+        was_warm[r] = ws.solve.warm[r] != 0 && ws.solve.n == n &&
+                      ws.solve.lanes == lanes;
+    solver.solve_batched(g, lanes, ws.v_in.data(), ws.solve);
+
+    const int L = lanes;
+    for (int r = 0; r < L; ++r) {
+        if (ws.solve.converged[r] || !was_warm[r]) continue;
+        // Same rule as the scalar path: a warm-started solve that ran out of
+        // sweeps retries cold so the unconverged result is deterministic.
+        // The retry runs through the scalar solver (bit-identical to the
+        // scalar retry) and its state is spliced back into the lane so the
+        // warm chain continues exactly as it would have solo.
+        ws.retry.invalidate();
+        solver.solve(*g[r], ws.v_in.data(), ws.retry);
+        for (std::int64_t k = 0; k < n * n; ++k) {
+            ws.solve.vr[static_cast<std::size_t>(k * L + r)] =
+                ws.retry.vr[static_cast<std::size_t>(k)];
+            ws.solve.vc[static_cast<std::size_t>(k * L + r)] =
+                ws.retry.vc[static_cast<std::size_t>(k)];
+        }
+        for (std::int64_t j = 0; j < n; ++j)
+            ws.solve.currents[static_cast<std::size_t>(j * L + r)] =
+                ws.retry.currents[static_cast<std::size_t>(j)];
+        ws.solve.iterations[r] = ws.retry.iterations;
+        ws.solve.max_delta[r] = ws.retry.max_delta;
+        ws.solve.converged[r] = ws.retry.converged ? 1 : 0;
+        ws.solve.warm[r] = ws.retry.warm ? 1 : 0;
+    }
+
+    const double inv_v = 1.0 / v_nom;
+    const double* vr = ws.solve.vr.data();
+    const double* vc = ws.solve.vc.data();
+    for (int r = 0; r < L; ++r) {
+        TileDegradeResult& o = *out[r];
+        o.converged = ws.solve.converged[r] != 0;
+        o.sweeps = ws.solve.iterations[r];
+
+        if (!(o.g_eff.rank() == 2 && o.g_eff.dim(0) == n && o.g_eff.dim(1) == n))
+            o.g_eff = Tensor({n, n});
+        const float* gp = g[r]->data();
+        float* ge = o.g_eff.data();
+        for (std::int64_t k = 0; k < n * n; ++k) {
+            const double alpha = (vr[k * L + r] - vc[k * L + r]) * inv_v;
+            ge[k] = static_cast<float>(std::max(0.0, alpha) *
+                                       static_cast<double>(gp[k]));
+        }
+
+        solver.ideal_currents(*g[r], ws.v_in.data(), ws.ideal.data());
+        double nf_sum = 0.0;
+        std::int64_t nf_count = 0;
+        for (std::int64_t j = 0; j < n; ++j) {
+            const double ii = ws.ideal[static_cast<std::size_t>(j)];
+            if (ii <= 0.0) continue;
+            nf_sum +=
+                (ii - ws.solve.currents[static_cast<std::size_t>(j * L + r)]) / ii;
+            ++nf_count;
+        }
+        o.nf = nf_count ? nf_sum / static_cast<double>(nf_count) : 0.0;
+    }
 }
 
 TileDegradeResult degrade_tile(const Tensor& g, const CrossbarConfig& config) {

@@ -48,6 +48,26 @@ TileDegradeResult degrade_tile(const tensor::Tensor& g,
 void degrade_tile(const tensor::Tensor& g, const CircuitSolver& solver,
                   DegradeWorkspace& ws, TileDegradeResult& out);
 
+// Scratch for degrade_tile_batched: the lane-batched solver workspace, a
+// scalar workspace for the deterministic cold retry of a lane whose warm
+// solve failed, and the shared calibration buffers.
+struct BatchedDegradeWorkspace {
+    BatchedSolveWorkspace solve;
+    SolveWorkspace retry;
+    std::vector<double> v_in;
+    std::vector<double> ideal;
+};
+
+// Degrade `lanes` (≤ kMaxSolveLanes) same-size tiles in one batched solve.
+// Lane r's g_eff / nf / converged / sweeps are bit-identical to a scalar
+// degrade_tile of g[r] with the same per-lane warm state, including the
+// cold-retry rule for a failed warm-started solve. out[r]'s g_eff storage is
+// reused when already tile-shaped, so steady state allocates nothing.
+void degrade_tile_batched(const tensor::Tensor* const* g, int lanes,
+                          const CircuitSolver& solver,
+                          BatchedDegradeWorkspace& ws,
+                          TileDegradeResult* const* out);
+
 // NF = (I_ideal − I_nonideal) / I_ideal at the all-v_nom input, averaged over
 // columns with nonzero ideal current.
 double non_ideality_factor(const tensor::Tensor& g, const CrossbarConfig& config);

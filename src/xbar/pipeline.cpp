@@ -90,11 +90,58 @@ private:
 class ParasiticStage final : public TileStage {
 public:
     explicit ParasiticStage(const CrossbarBackend& backend)
-        : backend_(backend) {}
+        : backend_(backend),
+          circuit_(dynamic_cast<const CircuitBackend*>(&backend)) {}
     const char* name() const override { return "parasitics"; }
     void apply(TileStageContext& ctx) const override {
         backend_.degrade(*ctx.pos, ctx.ws, ctx.pos_result);
         backend_.degrade(*ctx.neg, ctx.ws, ctx.neg_result);
+        finish(ctx);
+    }
+
+    // Batch the circuit solves across repeat lanes. When both differential
+    // arrays of every lane fit the solver's lane budget, pos and neg solve
+    // together in ONE call (pos in lanes [0,count), neg in [count,2·count)) —
+    // at count = 4 that fills all kMaxSolveLanes and the solver's per-lane
+    // inner loops span a full 512-bit double vector. The solves are
+    // independent, so cold-start results stay bit-identical to the scalar
+    // path; warm starts then chain pos→pos and neg→neg per repeat lane
+    // instead of the scalar pos→neg interleave (differences far below float
+    // resolution, and only in the already-unpinned warm multi-repeat case —
+    // a single lane keeps the scalar chain order exactly).
+    void apply_batch(TileStageContext* const* lanes, int count,
+                     BatchedDegradeWorkspace& ws) const override {
+        if (circuit_ == nullptr || count > kMaxSolveLanes) {
+            for (int r = 0; r < count; ++r) apply(*lanes[r]);
+            return;
+        }
+        const Tensor* g[kMaxSolveLanes] = {};
+        TileDegradeResult* res[kMaxSolveLanes] = {};
+        if (count > 1 && 2 * count <= kMaxSolveLanes) {
+            for (int r = 0; r < count; ++r) {
+                g[r] = lanes[r]->pos;
+                res[r] = &lanes[r]->pos_result;
+                g[count + r] = lanes[r]->neg;
+                res[count + r] = &lanes[r]->neg_result;
+            }
+            circuit_->degrade_batch(g, 2 * count, ws, res);
+        } else {
+            for (int r = 0; r < count; ++r) {
+                g[r] = lanes[r]->pos;
+                res[r] = &lanes[r]->pos_result;
+            }
+            circuit_->degrade_batch(g, count, ws, res);
+            for (int r = 0; r < count; ++r) {
+                g[r] = lanes[r]->neg;
+                res[r] = &lanes[r]->neg_result;
+            }
+            circuit_->degrade_batch(g, count, ws, res);
+        }
+        for (int r = 0; r < count; ++r) finish(*lanes[r]);
+    }
+
+private:
+    static void finish(TileStageContext& ctx) {
         ctx.converged = ctx.pos_result.converged && ctx.neg_result.converged;
         ctx.nf = 0.5 * (ctx.pos_result.nf + ctx.neg_result.nf);
         ctx.pre_pos = ctx.pos;
@@ -103,8 +150,8 @@ public:
         ctx.neg = &ctx.neg_result.g_eff;
     }
 
-private:
     const CrossbarBackend& backend_;
+    const CircuitBackend* circuit_;
 };
 
 class CompensateStage final : public TileStage {
@@ -142,6 +189,20 @@ void TilePipeline::run(TileStageContext& ctx) const {
     }
 #else
     for (const auto& stage : stages_) stage->apply(ctx);
+#endif
+}
+
+void TilePipeline::run_batch(TileStageContext* const* lanes, int count,
+                             BatchedDegradeWorkspace& ws) const {
+#if XS_TELEMETRY_ENABLED
+    XS_TIMER_NS("xbar.tile.ns");
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        util::trace::Span span(stages_[i]->name());
+        util::metrics::ScopedTimerNs stage_timer(stage_timers_[i]);
+        stages_[i]->apply_batch(lanes, count, ws);
+    }
+#else
+    for (const auto& stage : stages_) stage->apply_batch(lanes, count, ws);
 #endif
 }
 

@@ -73,6 +73,18 @@ public:
     virtual ~TileStage() = default;
     virtual const char* name() const = 0;
     virtual void apply(TileStageContext& ctx) const = 0;
+
+    // Apply the stage to `count` per-repeat contexts of the same tile at
+    // once. The default per-lane loop is correct for every stage (each lane
+    // has its own RNG stream and buffers); the parasitic stage overrides it
+    // to batch the circuit solves across lanes. `ws` is the caller-owned
+    // batched solver scratch, live for the worker's lane group so per-lane
+    // warm chains persist across tiles exactly like the scalar workspace.
+    virtual void apply_batch(TileStageContext* const* lanes, int count,
+                             BatchedDegradeWorkspace& ws) const {
+        (void)ws;
+        for (int r = 0; r < count; ++r) apply(*lanes[r]);
+    }
 };
 
 // An ordered stage list plus the backend the parasitic stage solves with.
@@ -90,6 +102,12 @@ public:
     // add()) and wrapped in a trace span; the whole tile lands in
     // "xbar.tile.ns".
     void run(TileStageContext& ctx) const;
+
+    // Apply every stage to `count` per-repeat contexts of one tile, letting
+    // stages batch across the repeat lanes (one timer record covers the
+    // whole lane group). Lane r's outputs are bit-identical to run(ctx[r]).
+    void run_batch(TileStageContext* const* lanes, int count,
+                   BatchedDegradeWorkspace& ws) const;
 
     std::size_t size() const { return stages_.size(); }
     const CrossbarBackend* backend() const { return backend_.get(); }

@@ -63,6 +63,50 @@ struct SolveWorkspace {
     void invalidate() { warm = false; }
 };
 
+// Upper bound on the lanes one batched solve processes; callers chunk larger
+// repeat counts into groups of this size. Eight doubles fill one AVX-512
+// vector (two AVX2 vectors), so the lane loops below vectorize fully.
+inline constexpr int kMaxSolveLanes = 8;
+
+// Reusable scratch for CircuitSolver::solve_batched: `lanes` independent
+// same-size systems solved together, with every buffer lane-interleaved
+// (entry k of lane r lives at index k·lanes + r) so the per-lane inner loops
+// are unit-stride vector operations. Warm-start state is per lane: lane r of
+// the next batch iterates from lane r's previous converged voltages, giving
+// each Monte-Carlo repeat the same warm chain it would have had solving
+// alone.
+struct BatchedSolveWorkspace {
+    std::vector<double> vr, vc;    // node voltages, lane-interleaved
+    std::vector<double> currents;  // per-column sensed currents, n×lanes
+
+    // Per-solve internals (see SolveWorkspace). Unlike the scalar
+    // workspace, only the reciprocal pivots are stored: the sweep kernel is
+    // bandwidth-bound, and the forward multiplier m_k = -gw · inv_d_{k-1}
+    // is one multiply away from data the back-substitution streams anyway —
+    // recomputing it drops a whole factor array from every sweep. There is
+    // also no transposed g copy: lane-major layout puts each element on its
+    // own cacheline, so the column half-sweep strides through g_row.
+    std::vector<double> g_row;
+    std::vector<double> row_inv_d, col_inv_d;
+    std::vector<double> rhs;
+
+    std::int64_t n = 0;  // provisioned size
+    int lanes = 0;       // provisioned lane count
+
+    // Per-lane warm-start validity and last-solve outputs.
+    std::uint8_t warm[kMaxSolveLanes] = {};
+    int iterations[kMaxSolveLanes] = {};
+    double max_delta[kMaxSolveLanes] = {};
+    std::uint8_t converged[kMaxSolveLanes] = {};
+
+    // Provision for (size × lane_count); drops all warm state on change.
+    void ensure(std::int64_t size, int lane_count);
+    // Force every lane of the next solve to start from the flat guess.
+    void invalidate() {
+        for (int r = 0; r < kMaxSolveLanes; ++r) warm[r] = 0;
+    }
+};
+
 struct SolveResult {
     std::vector<double> currents;  // sensed output current per column (A)
     tensor::Tensor v_row;          // row-node voltages (X×X)
@@ -86,6 +130,15 @@ public:
     // converged flag. Warm-starts from ws when it holds a same-size solution.
     bool solve(const tensor::Tensor& g, const double* v_in,
                SolveWorkspace& ws) const;
+
+    // Solve `lanes` (≤ kMaxSolveLanes) independent conductance fields that
+    // share the same input voltages in one pass, vectorizing the chain
+    // recurrences across lanes. Each lane runs the identical sweep sequence
+    // as the scalar overload and freezes at its own convergence sweep, so
+    // lane r's voltages, currents, iteration count, and convergence flag are
+    // bit-identical to a scalar solve of g[r] with the same warm state.
+    void solve_batched(const tensor::Tensor* const* g, int lanes,
+                       const double* v_in, BatchedSolveWorkspace& ws) const;
 
     // Parasitic-free dot product I_j = Σ_i G_ij · V_i.
     std::vector<double> ideal_currents(const tensor::Tensor& g,

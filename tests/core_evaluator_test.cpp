@@ -184,6 +184,48 @@ TEST(Evaluator, ReportsLayerStats) {
     }
 }
 
+// Solver-failure accounting contract (evaluator.h): total_tiles counts ONE
+// repeat's mapping while unconverged_tiles sums solver failures over every
+// Monte-Carlo repeat, so the invariant is
+//   0 ≤ unconverged_tiles ≤ total_tiles × repeats
+// — NOT unconverged_tiles ≤ total_tiles. Both evaluation paths must report
+// the same per-repeat tile count and respect the bound; the evaluator
+// itself aborts loudly (check_failure_accounting) when the bound breaks.
+TEST(Evaluator, SolverFailuresCountAgainstTilesTimesRepeats) {
+    nn::VggConfig vc;
+    vc.width = 0.0625;
+    util::Rng rng(17);
+    nn::Sequential model = nn::build_vgg(vc, rng);
+
+    nn::Dataset test;
+    test.num_classes = 10;
+    test.images = Tensor({8, 3, 32, 32});
+    tensor::fill_normal(test.images, rng, 0.0f, 1.0f);
+    test.labels.assign(8, 0);
+
+    EvalConfig config;
+    config.xbar.size = 32;
+    config.repeats = 3;
+
+    const std::int64_t single_repeat_tiles = [&] {
+        EvalConfig one = config;
+        one.repeats = 1;
+        return evaluate_on_crossbars(model, test, one).total_tiles;
+    }();
+    ASSERT_GT(single_repeat_tiles, 0);
+
+    for (const bool batched : {true, false}) {
+        config.repeat_batch = batched;
+        const EvalResult r = evaluate_on_crossbars(model, test, config);
+        // total_tiles stays the per-repeat mapping count...
+        EXPECT_EQ(r.total_tiles, single_repeat_tiles) << "batched=" << batched;
+        // ...while the failure budget scales with the repeat count.
+        EXPECT_GE(r.unconverged_tiles, 0) << "batched=" << batched;
+        EXPECT_LE(r.unconverged_tiles, r.total_tiles * config.repeats)
+            << "batched=" << batched;
+    }
+}
+
 TEST(Evaluator, NfGrowsWithCrossbarSize) {
     nn::VggConfig vc;
     vc.width = 0.0625;

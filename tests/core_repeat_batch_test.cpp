@@ -1,0 +1,150 @@
+// Equivalence pin for the lane-batched repeat evaluator (DESIGN.md §12):
+// with cold-start solves, evaluate_on_crossbars must produce bit-identical
+// results with repeat_batch on and off, for any repeat count and backend.
+// This is what lets sweeps switch to batched execution without changing a
+// single CSV byte.
+#include "core/evaluator.h"
+#include "nn/trainer.h"
+#include "nn/vgg.h"
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace xs::core {
+namespace {
+
+using tensor::Tensor;
+
+::testing::AssertionResult bits_eq(double a, double b, const char* what) {
+    std::uint64_t ba = 0, bb = 0;
+    std::memcpy(&ba, &a, sizeof(a));
+    std::memcpy(&bb, &b, sizeof(b));
+    if (ba == bb) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << what << ": " << a << " vs " << b << " (bits differ)";
+}
+
+nn::Sequential tiny_vgg(std::uint64_t seed) {
+    nn::VggConfig vc;
+    vc.width = 0.0625;
+    util::Rng rng(seed);
+    return nn::build_vgg(vc, rng);
+}
+
+nn::Dataset tiny_dataset(std::uint64_t seed) {
+    nn::Dataset test;
+    test.num_classes = 10;
+    test.images = Tensor({16, 3, 32, 32});
+    util::Rng rng(seed);
+    tensor::fill_normal(test.images, rng, 0.0f, 1.0f);
+    test.labels.resize(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        test.labels[i] = static_cast<std::int64_t>(i % 10);
+    return test;
+}
+
+void expect_identical(const EvalResult& a, const EvalResult& b,
+                      const std::string& tag) {
+    SCOPED_TRACE(tag);
+    EXPECT_TRUE(bits_eq(a.accuracy, b.accuracy, "accuracy"));
+    EXPECT_TRUE(bits_eq(a.nf_mean, b.nf_mean, "nf_mean"));
+    EXPECT_EQ(a.total_tiles, b.total_tiles);
+    EXPECT_EQ(a.unconverged_tiles, b.unconverged_tiles);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+        SCOPED_TRACE(a.layers[i].layer);
+        EXPECT_EQ(a.layers[i].tiles, b.layers[i].tiles);
+        EXPECT_EQ(a.layers[i].unconverged, b.layers[i].unconverged);
+        EXPECT_TRUE(bits_eq(a.layers[i].nf_mean, b.layers[i].nf_mean,
+                            "layer nf_mean"));
+        EXPECT_TRUE(bits_eq(a.layers[i].w_ref, b.layers[i].w_ref, "w_ref"));
+    }
+}
+
+EvalConfig cold_config(xbar::BackendKind backend) {
+    EvalConfig config;
+    config.xbar.size = 32;
+    config.backend = backend;
+    config.warm_start_solves = false;  // cold starts: strict bit identity
+    config.seed = 21;
+    return config;
+}
+
+TEST(RepeatBatch, ColdMatchesSequentialBitExactAcrossRepeatCounts) {
+    nn::Sequential model = tiny_vgg(12);
+    const nn::Dataset test = tiny_dataset(15);
+    // 1 = scalar-solver lane fallback, 3 = one partial group, 8 = two full
+    // groups through the producer/consumer pipeline (groups of
+    // kMaxSolveLanes/2 repeats).
+    for (const std::int64_t repeats : {1, 3, 8}) {
+        EvalConfig config = cold_config(xbar::BackendKind::kCircuit);
+        config.repeats = repeats;
+        config.repeat_batch = true;
+        const EvalResult batched = evaluate_on_crossbars(model, test, config);
+        config.repeat_batch = false;
+        const EvalResult sequential =
+            evaluate_on_crossbars(model, test, config);
+        expect_identical(batched, sequential,
+                         "repeats=" + std::to_string(repeats));
+        EXPECT_GT(batched.nf_mean, 0.0);
+    }
+}
+
+TEST(RepeatBatch, ColdMatchesSequentialOnEveryBackend) {
+    nn::Sequential model = tiny_vgg(12);
+    const nn::Dataset test = tiny_dataset(15);
+    for (const xbar::BackendKind backend :
+         {xbar::BackendKind::kFast, xbar::BackendKind::kIdeal}) {
+        EvalConfig config = cold_config(backend);
+        config.repeats = 3;
+        config.repeat_batch = true;
+        const EvalResult batched = evaluate_on_crossbars(model, test, config);
+        config.repeat_batch = false;
+        const EvalResult sequential =
+            evaluate_on_crossbars(model, test, config);
+        expect_identical(batched, sequential,
+                         std::string("backend=") + xbar::backend_name(backend));
+    }
+}
+
+TEST(RepeatBatch, WarmSingleRepeatMatchesSequential) {
+    // With one repeat there is no cross-repeat warm chaining to differ on:
+    // the batched path's lane-0 warm chain visits tiles in the same worker
+    // partition order as the sequential path, so even warm-started solves
+    // are bit-identical.
+    nn::Sequential model = tiny_vgg(12);
+    const nn::Dataset test = tiny_dataset(15);
+    EvalConfig config = cold_config(xbar::BackendKind::kCircuit);
+    config.warm_start_solves = true;
+    config.repeats = 1;
+    config.repeat_batch = true;
+    const EvalResult batched = evaluate_on_crossbars(model, test, config);
+    config.repeat_batch = false;
+    const EvalResult sequential = evaluate_on_crossbars(model, test, config);
+    expect_identical(batched, sequential, "warm repeats=1");
+}
+
+TEST(RepeatBatch, PerRepeatResultsMatchSingleSeedRuns) {
+    // evaluate_repeats_on_crossbars with N seeds must equal N independent
+    // single-seed calls — the contract the sweep runner's group execution
+    // relies on for byte-identical per-repeat CellResults.
+    nn::Sequential model = tiny_vgg(12);
+    const nn::Dataset test = tiny_dataset(15);
+    EvalConfig config = cold_config(xbar::BackendKind::kCircuit);
+    const std::vector<std::uint64_t> seeds{21, 909, 4242};
+    const std::vector<EvalResult> grouped =
+        evaluate_repeats_on_crossbars(model, test, config, seeds);
+    ASSERT_EQ(grouped.size(), seeds.size());
+    for (std::size_t r = 0; r < seeds.size(); ++r) {
+        const std::vector<EvalResult> one = evaluate_repeats_on_crossbars(
+            model, test, config, {seeds[r]});
+        ASSERT_EQ(one.size(), 1u);
+        expect_identical(grouped[r], one[0],
+                         "seed=" + std::to_string(seeds[r]));
+    }
+}
+
+}  // namespace
+}  // namespace xs::core

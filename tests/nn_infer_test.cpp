@@ -205,6 +205,111 @@ TEST(InferenceEngine, MacOverridesMatchInjectedWeights) {
     EXPECT_TRUE(tensor::allclose(engine.forward(x), reference, 1e-4f, 1e-3f));
 }
 
+// Lane r of forward_batched must be bit-identical to refresh()ing the
+// engine with lane r's MAC overrides and running a scalar forward — the
+// contract the repeat-batched evaluator relies on for byte-identical CSVs.
+TEST(InferenceEngine, BatchedForwardMatchesScalarPerInstanceBitExact) {
+    util::Rng rng(7);
+    Sequential model = small_model(rng);
+    warm_batchnorm(model, rng);
+    InferenceEngine engine(model);
+
+    Tensor x({6, 3, 16, 16});
+    tensor::fill_normal(x, rng, 0.0f, 1.0f);
+
+    const auto layers = map::mappable_layers(model);
+    const std::size_t lanes = 3;
+    std::vector<std::vector<Tensor>> degraded(lanes);
+    for (std::size_t r = 0; r < lanes; ++r)
+        for (nn::Layer* l : layers) {
+            Tensor d = map::extract_matrix(*l);
+            for (std::int64_t i = 0; i < d.numel(); ++i)
+                d[i] *= 0.85f + 0.3f * static_cast<float>(rng.uniform());
+            degraded[r].push_back(std::move(d));
+        }
+
+    std::vector<CompiledInstance> insts(lanes);
+    std::vector<const CompiledInstance*> ptrs;
+    for (std::size_t r = 0; r < lanes; ++r) {
+        std::vector<const Tensor*> ov;
+        for (const Tensor& d : degraded[r]) ov.push_back(&d);
+        engine.compile_instance(ov, insts[r]);
+        ptrs.push_back(&insts[r]);
+    }
+
+    const Tensor& stacked =
+        engine.forward_batched(x.data(), x.shape(), ptrs.data(), lanes);
+    ASSERT_EQ(stacked.dim(0), static_cast<std::int64_t>(lanes) * x.dim(0));
+    // Copy out: the next scalar forward reuses engine arenas.
+    const Tensor got = stacked;
+
+    const std::int64_t block = got.numel() / static_cast<std::int64_t>(lanes);
+    for (std::size_t r = 0; r < lanes; ++r) {
+        std::vector<const Tensor*> ov;
+        for (const Tensor& d : degraded[r]) ov.push_back(&d);
+        engine.refresh(ov);
+        const Tensor& ref = engine.forward(x);
+        ASSERT_EQ(ref.numel(), block);
+        const float* gp = got.data() + static_cast<std::int64_t>(r) * block;
+        for (std::int64_t i = 0; i < block; ++i)
+            ASSERT_EQ(gp[i], ref[i]) << "lane " << r << " element " << i;
+    }
+}
+
+TEST(InferenceEngine, BatchedForwardGenericFallbackMatchesScalar) {
+    util::Rng rng(8);
+    Sequential model;
+    model.add(std::make_unique<Conv2d>(2, 4, 3, 1, 1, rng), "conv1");
+    model.add(std::make_unique<ScaleLayer>(), "scale1");
+    model.add(std::make_unique<ReLU>(), "relu1");
+    model.add(std::make_unique<Flatten>(), "flatten");
+    model.add(std::make_unique<Linear>(4 * 8 * 8, 3, rng), "fc1");
+    InferenceEngine engine(model);
+
+    Tensor x({2, 2, 8, 8});
+    tensor::fill_normal(x, rng, 0.0f, 1.0f);
+
+    CompiledInstance inst;
+    engine.compile_instance({}, inst);
+    const CompiledInstance* ptrs[2] = {&inst, &inst};
+    const Tensor got = engine.forward_batched(x.data(), x.shape(), ptrs, 2);
+    const Tensor& ref = engine.forward(x);
+    ASSERT_EQ(got.numel(), 2 * ref.numel());
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+        ASSERT_EQ(got[i], ref[i]) << "lane 0 element " << i;
+        ASSERT_EQ(got[ref.numel() + i], ref[i]) << "lane 1 element " << i;
+    }
+}
+
+TEST(InferenceEngine, BatchedForwardSteadyStateAllocatesNothing) {
+    util::Rng rng(9);
+    Sequential model = small_model(rng);
+    warm_batchnorm(model, rng);
+    InferenceEngine engine(model);
+
+    Tensor x({8, 3, 16, 16});
+    tensor::fill_normal(x, rng, 0.0f, 1.0f);
+
+    std::vector<CompiledInstance> insts(4);
+    std::vector<const CompiledInstance*> ptrs;
+    for (auto& inst : insts) {
+        engine.compile_instance({}, inst);
+        ptrs.push_back(&inst);
+    }
+
+    // Warm-up grows the batch arenas and pack scratch.
+    engine.forward_batched(x.data(), x.shape(), ptrs.data(), ptrs.size());
+    engine.forward_batched(x.data(), x.shape(), ptrs.data(), ptrs.size());
+
+    const long before = t_alloc_count;
+    for (int rep = 0; rep < 5; ++rep)
+        engine.forward_batched(x.data(), x.shape(), ptrs.data(), ptrs.size());
+    // Recompiling an already-shaped instance must also be allocation-free.
+    for (std::size_t slot = 0; slot < engine.mappable_count(); ++slot)
+        engine.compile_instance_slot(slot, nullptr, insts[0]);
+    EXPECT_EQ(t_alloc_count, before);
+}
+
 TEST(InferenceEngine, OverlappedRepeatsAreDeterministic) {
     VggConfig vc;
     vc.width = 0.0625;

@@ -154,6 +154,84 @@ TEST(SweepRunner, AggregateCsvInvariantToShardCount) {
     }
 }
 
+TEST(SweepRunner, AggregateCsvInvariantToRepeatBatching) {
+    // The lane-batched group path (the default; repeats of a grid point share
+    // one compiled-instance set and one batched inference pass) must produce
+    // the same aggregate CSV, byte for byte, as the legacy
+    // one-evaluation-per-cell path — per-repeat FNV seeding plus cold-start
+    // solves make every batched lane bit-identical to its sequential cell.
+    // The manifest records must agree too, field by field, bit for bit
+    // (everything except the wall-clock timing). Repeat counts: 1 hits the
+    // scalar-lane fallback, 3 a partial group, 8 two full groups through the
+    // evaluator's producer/consumer pipeline.
+    for (const std::int64_t repeats : {1, 3, 8}) {
+        SCOPED_TRACE("repeats=" + std::to_string(repeats));
+        const std::string tag = "rb" + std::to_string(repeats);
+        SweepSpec spec = tiny_spec();
+        spec.prunes = {{prune::Method::kNone, 0.0}};
+        spec.repeats = repeats;
+
+        SweepOptions off;
+        off.repeat_batch = false;
+        off.csv_name = tag + "_off.csv";
+        off.manifest_name = tag + "_off.jsonl";
+        const SweepSummary legacy = SweepRunner(ctx(), spec, off).run();
+        EXPECT_EQ(legacy.cells_executed, repeats);
+        const std::string expected = slurp(legacy.csv_path);
+        ASSERT_FALSE(expected.empty());
+
+        SweepOptions on;
+        on.csv_name = tag + "_on.csv";
+        on.manifest_name = tag + "_on.jsonl";
+        const SweepSummary batched = SweepRunner(ctx(), spec, on).run();
+        EXPECT_EQ(batched.cells_executed, repeats);
+        EXPECT_EQ(slurp(batched.csv_path), expected);
+
+        const auto seq_man = load_manifest(legacy.manifest_path);
+        const auto bat_man = load_manifest(batched.manifest_path);
+        ASSERT_EQ(seq_man.size(), static_cast<std::size_t>(repeats));
+        ASSERT_EQ(bat_man.size(), seq_man.size());
+        for (const auto& [id, seq] : seq_man) {
+            SCOPED_TRACE(id);
+            const auto it = bat_man.find(id);
+            ASSERT_NE(it, bat_man.end());
+            const CellResult& bat = it->second;
+            EXPECT_EQ(bat.backend, seq.backend);
+            EXPECT_EQ(bat.status, seq.status);
+            EXPECT_EQ(bat.tiles, seq.tiles);
+            EXPECT_EQ(bat.solver_failures, seq.solver_failures);
+            // Doubles round-trip the manifest at 17 significant digits, so
+            // equality here is bit equality of the recorded values.
+            EXPECT_EQ(bat.accuracy, seq.accuracy);
+            EXPECT_EQ(bat.nf_mean, seq.nf_mean);
+            EXPECT_EQ(bat.energy_pj, seq.energy_pj);
+            EXPECT_EQ(bat.software_acc, seq.software_acc);
+        }
+    }
+
+    // A partially-resumed group: after max_cells interrupts mid-group, the
+    // remaining lanes batch as a smaller group with the same bytes.
+    SweepSpec spec = tiny_spec();
+    spec.prunes = {{prune::Method::kNone, 0.0}};
+    spec.repeats = 3;
+    SweepOptions off;
+    off.repeat_batch = false;
+    off.csv_name = "rb_resume_ref.csv";
+    off.manifest_name = "rb_resume_ref.jsonl";
+    const std::string expected = slurp(SweepRunner(ctx(), spec, off).run().csv_path);
+    SweepOptions resume;
+    resume.csv_name = "rb_resume.csv";
+    resume.manifest_name = "rb_resume.jsonl";
+    resume.max_cells = 1;  // interrupt with two of the group's lanes pending
+    SweepRunner(ctx(), spec, resume).run();
+    resume.max_cells = -1;
+    resume.resume = true;
+    const SweepSummary resumed = SweepRunner(ctx(), spec, resume).run();
+    EXPECT_EQ(resumed.cells_resumed, 1);
+    EXPECT_EQ(resumed.cells_executed, 2);
+    EXPECT_EQ(slurp(resumed.csv_path), expected);
+}
+
 TEST(SweepRunner, ResumeRefusesDifferentConfiguration) {
     SweepOptions opts;
     opts.csv_name = "fp.csv";

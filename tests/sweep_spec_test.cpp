@@ -274,6 +274,33 @@ TEST(SweepSpec, BackendAxisExpandsParsesAndSharesSeeds) {
     EXPECT_NE(cell_seed(11, cells[0]), cell_seed(11, cells[1]));
 }
 
+TEST(SweepSpec, QuantAndCompensationAxesExpandParseAndKeepLegacyIds) {
+    const SweepSpec parsed = parse_sweep_spec(
+        make_flags({"--quant-levels=0,64,16",
+                    "--mitigations=none,comp,rearrange+comp,wct+r+comp"}));
+    ASSERT_EQ(parsed.quant_levels.size(), 3u);
+    EXPECT_EQ(parsed.quant_levels[0], 0);
+    EXPECT_EQ(parsed.quant_levels[1], 64);
+    EXPECT_EQ(parsed.quant_levels[2], 16);
+    ASSERT_EQ(parsed.mitigations.size(), 4u);
+    EXPECT_EQ(parsed.mitigations[1].name(), "comp");
+    EXPECT_EQ(parsed.mitigations[2].name(), "rearrange+comp");
+    EXPECT_TRUE(parsed.mitigations[3].wct && parsed.mitigations[3].rearrange &&
+                parsed.mitigations[3].compensate);
+
+    SweepSpec spec;
+    spec.sizes = {16};
+    spec.quant_levels = {0, 64};
+    spec.repeats = 1;
+    const std::vector<SweepCell> cells = spec.expand();
+    ASSERT_EQ(cells.size(), 2u);
+    // Continuous-write cells keep their pre-axis ids (manifests recorded
+    // before the axis existed still resume); quantized cells are distinct.
+    EXPECT_EQ(cells[0].group_id().find("/q"), std::string::npos);
+    EXPECT_NE(cells[1].group_id().find("/q64"), std::string::npos);
+    EXPECT_NE(cell_seed(11, cells[0]), cell_seed(11, cells[1]));
+}
+
 TEST(SweepSeed, DeterministicPerCellIdentity) {
     SweepCell a;
     a.variant = "vgg11";

@@ -95,6 +95,27 @@ TEST(Rng, NormalWithParams) {
     EXPECT_NEAR(sum / n, 5.0, 0.05);
 }
 
+// normal_fill must reproduce the serial normal() stream bit-for-bit: the
+// block fast path, wedge rejections, and the layer-0 tail sampler all ride
+// the same stream positions. 200k draws make every path fire many times
+// (~2% wedge, ~0.06% tail), and odd counts exercise the serial tail of the
+// block loop plus FIFO hand-off at every block phase.
+TEST(Rng, NormalFillMatchesSerialBitExact) {
+    for (const std::size_t count : {std::size_t{1}, std::size_t{15},
+                                    std::size_t{16}, std::size_t{17},
+                                    std::size_t{1024}, std::size_t{200003}}) {
+        Rng serial(777), block(777);
+        std::vector<double> expect(count), got(count);
+        for (std::size_t i = 0; i < count; ++i) expect[i] = serial.normal();
+        block.normal_fill(got.data(), count);
+        for (std::size_t i = 0; i < count; ++i)
+            ASSERT_EQ(expect[i], got[i]) << "draw " << i << " of " << count;
+        // The two generators must also leave the stream at the same
+        // position, or later consumers would diverge.
+        EXPECT_EQ(serial.next_u64(), block.next_u64());
+    }
+}
+
 TEST(Rng, PermutationIsValid) {
     Rng rng(19);
     const auto perm = rng.permutation(257);

@@ -1,0 +1,222 @@
+// Bit-identity of the lane-batched solver/degrade path against the scalar
+// one. The batched kernels mirror the scalar arithmetic expression-for-
+// expression; these tests pin that every lane's voltages, currents, sweep
+// counts, NF, and warm-chain behaviour are byte-identical to solving each
+// repeat alone — the property the repeat-batched evaluator relies on.
+#include "util/rng.h"
+#include "xbar/config.h"
+#include "xbar/degrade.h"
+#include "xbar/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace xs::xbar {
+namespace {
+
+using tensor::Tensor;
+
+CrossbarConfig config_of(std::int64_t size, double rd, double rwr, double rwc,
+                         double rs) {
+    CrossbarConfig c;
+    c.size = size;
+    c.parasitics.r_driver = rd;
+    c.parasitics.r_wire_row = rwr;
+    c.parasitics.r_wire_col = rwc;
+    c.parasitics.r_sense = rs;
+    return c;
+}
+
+Tensor random_g(std::int64_t n, std::uint64_t seed, const DeviceConfig& dev) {
+    util::Rng rng(seed);
+    Tensor g({n, n});
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = static_cast<float>(rng.uniform(dev.g_min(), dev.g_max()));
+    return g;
+}
+
+// Compare doubles as bits: the contract is bit-identity, not closeness.
+void expect_bits_eq(double a, double b, const char* what, int lane) {
+    std::uint64_t ba, bb;
+    std::memcpy(&ba, &a, sizeof(ba));
+    std::memcpy(&bb, &b, sizeof(bb));
+    EXPECT_EQ(ba, bb) << what << " mismatch in lane " << lane << ": " << a
+                      << " vs " << b;
+}
+
+TEST(BatchedSolver, ColdSolveMatchesScalarBitExact) {
+    const CrossbarConfig c = config_of(16, 100, 2, 2, 100);
+    const CircuitSolver solver(c);
+    const std::vector<double> v(16, c.parasitics.v_nom);
+
+    for (int lanes = 1; lanes <= kMaxSolveLanes; ++lanes) {
+        std::vector<Tensor> gs;
+        std::vector<const Tensor*> gp;
+        for (int r = 0; r < lanes; ++r)
+            gs.push_back(random_g(16, 100 + static_cast<std::uint64_t>(r), c.device));
+        for (auto& g : gs) gp.push_back(&g);
+
+        BatchedSolveWorkspace bws;
+        solver.solve_batched(gp.data(), lanes, v.data(), bws);
+
+        for (int r = 0; r < lanes; ++r) {
+            SolveWorkspace sws;
+            solver.solve(gs[static_cast<std::size_t>(r)], v.data(), sws);
+            ASSERT_EQ(bws.iterations[r], sws.iterations) << "lane " << r;
+            EXPECT_EQ(bws.converged[r] != 0, sws.converged);
+            expect_bits_eq(bws.max_delta[r], sws.max_delta, "max_delta", r);
+            for (std::int64_t k = 0; k < 16 * 16; ++k) {
+                expect_bits_eq(bws.vr[static_cast<std::size_t>(k * lanes + r)],
+                               sws.vr[static_cast<std::size_t>(k)], "vr", r);
+                expect_bits_eq(bws.vc[static_cast<std::size_t>(k * lanes + r)],
+                               sws.vc[static_cast<std::size_t>(k)], "vc", r);
+            }
+            for (std::int64_t j = 0; j < 16; ++j)
+                expect_bits_eq(
+                    bws.currents[static_cast<std::size_t>(j * lanes + r)],
+                    sws.currents[static_cast<std::size_t>(j)], "currents", r);
+        }
+    }
+}
+
+TEST(BatchedSolver, WarmChainMatchesScalarChainPerLane) {
+    // Each lane solves a sequence of statistically-similar tiles with warm
+    // starts; lane r's chain must match an independent scalar chain over the
+    // same tile sequence, even though the lanes converge at different sweeps.
+    const CrossbarConfig c = config_of(16, 100, 2, 2, 100);
+    const CircuitSolver solver(c);
+    const std::vector<double> v(16, c.parasitics.v_nom);
+    const int lanes = 5;
+    const int steps = 4;
+
+    std::vector<std::vector<Tensor>> chain(static_cast<std::size_t>(lanes));
+    for (int r = 0; r < lanes; ++r)
+        for (int s = 0; s < steps; ++s)
+            chain[static_cast<std::size_t>(r)].push_back(random_g(
+                16, 1000 + static_cast<std::uint64_t>(r * steps + s), c.device));
+
+    BatchedSolveWorkspace bws;
+    std::vector<SolveWorkspace> sws(static_cast<std::size_t>(lanes));
+    for (int s = 0; s < steps; ++s) {
+        std::vector<const Tensor*> gp;
+        for (int r = 0; r < lanes; ++r)
+            gp.push_back(&chain[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)]);
+        solver.solve_batched(gp.data(), lanes, v.data(), bws);
+        for (int r = 0; r < lanes; ++r) {
+            solver.solve(*gp[static_cast<std::size_t>(r)], v.data(),
+                         sws[static_cast<std::size_t>(r)]);
+            ASSERT_EQ(bws.iterations[r], sws[static_cast<std::size_t>(r)].iterations)
+                << "step " << s << " lane " << r;
+            for (std::int64_t k = 0; k < 16 * 16; ++k)
+                expect_bits_eq(
+                    bws.vc[static_cast<std::size_t>(k * lanes + r)],
+                    sws[static_cast<std::size_t>(r)].vc[static_cast<std::size_t>(k)],
+                    "vc", r);
+            for (std::int64_t j = 0; j < 16; ++j)
+                expect_bits_eq(
+                    bws.currents[static_cast<std::size_t>(j * lanes + r)],
+                    sws[static_cast<std::size_t>(r)].currents[static_cast<std::size_t>(j)],
+                    "currents", r);
+        }
+    }
+}
+
+TEST(BatchedSolver, LanesConvergeIndependently) {
+    // A lane with a much harder field (heavier parasitics make coupling
+    // stronger) must not perturb an easier lane's result.
+    const CrossbarConfig c = config_of(16, 500, 8, 8, 500);
+    const CircuitSolver solver(c);
+    const std::vector<double> v(16, c.parasitics.v_nom);
+
+    Tensor easy({16, 16}, static_cast<float>(c.device.g_min()));
+    Tensor hard = random_g(16, 7, c.device);
+    for (std::int64_t i = 0; i < hard.numel(); ++i)
+        hard[i] = static_cast<float>(c.device.g_max() * 2.0);
+
+    const Tensor* gp[2] = {&easy, &hard};
+    BatchedSolveWorkspace bws;
+    solver.solve_batched(gp, 2, v.data(), bws);
+
+    SolveWorkspace se, sh;
+    solver.solve(easy, v.data(), se);
+    solver.solve(hard, v.data(), sh);
+    EXPECT_NE(se.iterations, sh.iterations);  // genuinely different lanes
+    ASSERT_EQ(bws.iterations[0], se.iterations);
+    ASSERT_EQ(bws.iterations[1], sh.iterations);
+    for (std::int64_t j = 0; j < 16; ++j) {
+        expect_bits_eq(bws.currents[static_cast<std::size_t>(j * 2)],
+                       se.currents[static_cast<std::size_t>(j)], "easy", 0);
+        expect_bits_eq(bws.currents[static_cast<std::size_t>(j * 2 + 1)],
+                       sh.currents[static_cast<std::size_t>(j)], "hard", 1);
+    }
+}
+
+TEST(BatchedDegrade, MatchesScalarDegradeIncludingWarmRetry) {
+    const CrossbarConfig c = config_of(16, 100, 2, 2, 100);
+    const CircuitSolver solver(c);
+    const int lanes = 3;
+    const int steps = 3;
+
+    BatchedDegradeWorkspace bws;
+    std::vector<DegradeWorkspace> sws(static_cast<std::size_t>(lanes));
+    std::vector<TileDegradeResult> bout(static_cast<std::size_t>(lanes));
+    std::vector<TileDegradeResult> sout(static_cast<std::size_t>(lanes));
+
+    for (int s = 0; s < steps; ++s) {
+        std::vector<Tensor> gs;
+        for (int r = 0; r < lanes; ++r)
+            gs.push_back(random_g(
+                16, 5000 + static_cast<std::uint64_t>(s * lanes + r), c.device));
+        std::vector<const Tensor*> gp;
+        std::vector<TileDegradeResult*> op;
+        for (int r = 0; r < lanes; ++r) {
+            gp.push_back(&gs[static_cast<std::size_t>(r)]);
+            op.push_back(&bout[static_cast<std::size_t>(r)]);
+        }
+        degrade_tile_batched(gp.data(), lanes, solver, bws, op.data());
+        for (int r = 0; r < lanes; ++r) {
+            degrade_tile(gs[static_cast<std::size_t>(r)], solver,
+                         sws[static_cast<std::size_t>(r)],
+                         sout[static_cast<std::size_t>(r)]);
+            const auto& b = bout[static_cast<std::size_t>(r)];
+            const auto& e = sout[static_cast<std::size_t>(r)];
+            ASSERT_EQ(b.sweeps, e.sweeps) << "step " << s << " lane " << r;
+            EXPECT_EQ(b.converged, e.converged);
+            expect_bits_eq(b.nf, e.nf, "nf", r);
+            ASSERT_EQ(b.g_eff.numel(), e.g_eff.numel());
+            for (std::int64_t k = 0; k < b.g_eff.numel(); ++k)
+                EXPECT_EQ(b.g_eff[k], e.g_eff[k])
+                    << "g_eff[" << k << "] lane " << r;
+        }
+    }
+}
+
+TEST(BatchedDegrade, ColdRetryOnFailedWarmSolveIsDeterministic) {
+    // Force unconverged solves with a tiny sweep budget: a warm-started
+    // failure must retry cold and match the scalar retry bit-for-bit.
+    const CrossbarConfig c = config_of(16, 100, 2, 2, 100);
+    CircuitSolver solver(c);
+    solver.set_max_sweeps(2);
+
+    BatchedDegradeWorkspace bws;
+    DegradeWorkspace sws;
+    TileDegradeResult bout, sout;
+    TileDegradeResult* op[1] = {&bout};
+    for (int s = 0; s < 3; ++s) {
+        const Tensor g = random_g(16, 42 + static_cast<std::uint64_t>(s), c.device);
+        const Tensor* gp[1] = {&g};
+        degrade_tile_batched(gp, 1, solver, bws, op);
+        degrade_tile(g, solver, sws, sout);
+        EXPECT_FALSE(bout.converged);
+        ASSERT_EQ(bout.sweeps, sout.sweeps) << "step " << s;
+        expect_bits_eq(bout.nf, sout.nf, "nf", 0);
+        for (std::int64_t k = 0; k < bout.g_eff.numel(); ++k)
+            EXPECT_EQ(bout.g_eff[k], sout.g_eff[k]) << "g_eff[" << k << "]";
+    }
+}
+
+}  // namespace
+}  // namespace xs::xbar
